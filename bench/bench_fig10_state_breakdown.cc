@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Figure 10: breakdown of speculative execution by the
+ * time spent in each state —
+ *   serial        not running speculatively,
+ *   run-used      committed CPU time doing application work,
+ *   wait-used     committed time waiting for the head / stalled on
+ *                 buffer overflow,
+ *   overhead      TLS startup / eoi / restart / shutdown handlers,
+ *   run-violated  discarded computation (RAW squashes),
+ *   wait-violated discarded waiting.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    JrpmConfig cfg = bench::benchConfig();
+
+    std::printf("Figure 10 - Breakdown of speculative execution by "
+                "state (percent of TLS run)\n\n");
+    TextTable t;
+    t.setHeader({"category", "benchmark", "serial", "run-used",
+                 "wait-used", "overhead", "run-viol", "wait-viol",
+                 "violations"});
+
+    for (const auto &w : bench::selectWorkloads(opt)) {
+        JrpmReport rep = bench::runReport(w, cfg);
+        const ExecStats &s = rep.tls.stats;
+        const double total = s.total() > 0 ? s.total() : 1.0;
+        t.addRow({w.category, w.name,
+                  bench::fmtPct(s.serial / total),
+                  bench::fmtPct(s.runUsed / total),
+                  bench::fmtPct(s.waitUsed / total),
+                  bench::fmtPct(s.overhead / total),
+                  bench::fmtPct(s.runViolated / total),
+                  bench::fmtPct(s.waitViolated / total),
+                  strfmt("%llu", static_cast<unsigned long long>(
+                                     s.violations))});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::run(argc, argv);
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Figure 8: for every benchmark, the slowdown during
+ * TEST profiling, the TLS execution time predicted from the profile,
+ * and the actual TLS execution time — all normalized to the original
+ * sequential program (lower is better; 0.25 = ideal 4-CPU speedup).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    JrpmConfig cfg = bench::benchConfig();
+
+    std::printf("Figure 8 - Profiling slowdown, predicted and actual "
+                "TLS execution time\n(normalized to sequential "
+                "execution; 4 CPUs)\n\n");
+    TextTable t;
+    t.setHeader({"category", "benchmark", "profiling", "predicted",
+                 "actual", "actual speedup"});
+
+    SampleStat prof_all;
+    for (const auto &w : bench::selectWorkloads(opt)) {
+        JrpmReport rep = bench::runReport(w, cfg);
+        const double seq =
+            static_cast<double>(rep.seqMain.cycles);
+        const double predicted =
+            seq > 0 ? rep.predictedTlsCycles / seq : 1.0;
+        const double actual =
+            seq > 0 ? static_cast<double>(rep.tls.cycles) / seq
+                    : 1.0;
+        prof_all.sample(rep.profilingSlowdown - 1.0);
+        t.addRow({w.category, w.name,
+                  bench::fmt2(rep.profilingSlowdown),
+                  bench::fmt2(predicted), bench::fmt2(actual),
+                  bench::fmt2(rep.actualSpeedup)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("average profiling slowdown: %.1f%% "
+                "(paper: 7.8%% average, worst ~25%%)\n",
+                100.0 * prof_all.mean());
+    return 0;
+}
+
+} // namespace
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::run(argc, argv);
+}

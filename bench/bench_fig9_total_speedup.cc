@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Figure 9: total program speedup including compilation,
+ * garbage collection, profiling and recompilation overheads, with
+ * the lifecycle breakdown of where the cycles go.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    JrpmConfig cfg = bench::benchConfig();
+
+    std::printf("Figure 9 - Total program speedup with compilation, "
+                "GC, profiling and\nrecompilation overheads "
+                "(fractions of total Jrpm cycles)\n\n");
+    TextTable t;
+    t.setHeader({"category", "benchmark", "total speedup", "app",
+                 "gc", "compile", "profiling", "recompile"});
+
+    for (const auto &w : bench::selectWorkloads(opt)) {
+        JrpmReport rep = bench::runReport(w, cfg);
+        const double total =
+            static_cast<double>(rep.phases.total());
+        auto frac = [&](std::uint64_t v) {
+            return bench::fmtPct(total > 0 ? v / total : 0);
+        };
+        t.addRow({w.category, w.name,
+                  bench::fmt2(rep.totalSpeedup),
+                  frac(rep.phases.application), frac(rep.phases.gc),
+                  frac(rep.phases.compile),
+                  frac(rep.phases.profiling),
+                  frac(rep.phases.recompile)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::run(argc, argv);
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: host
+ * cost per simulated cycle in sequential and speculative modes, and
+ * microJIT compilation throughput.  These bound how large an input
+ * the table/figure harnesses can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "workloads/workloads.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+void
+BM_SequentialSimulation(benchmark::State &state)
+{
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmSystem sys(w);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunOutcome out = sys.runSequential({300}, false, nullptr);
+        cycles += out.cycles;
+        benchmark::DoNotOptimize(out.exitValue);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_SpeculativeSimulation(benchmark::State &state)
+{
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmSystem sys(w);
+    auto sels = sys.selectOnly();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunOutcome out = sys.runTls({300}, sels);
+        cycles += out.cycles;
+        benchmark::DoNotOptimize(out.exitValue);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpeculativeSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_MicroJitCompile(benchmark::State &state)
+{
+    Workload w = wl::workloadByName("Assignment");
+    std::uint64_t bytecodes = 0;
+    for (auto _ : state) {
+        Jit jit(w.program);
+        Machine m;
+        jit.compileAll(m.codeSpace(), CompileMode::Tls);
+        benchmark::DoNotOptimize(m.codeSpace().totalInsts());
+        bytecodes += jit.bytecodeCount();
+    }
+    state.counters["bytecodes/s"] = benchmark::Counter(
+        static_cast<double>(bytecodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MicroJitCompile)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ProfiledSimulation(benchmark::State &state)
+{
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmSystem sys(w);
+    for (auto _ : state) {
+        TestProfiler prof;
+        RunOutcome out = sys.runSequential({300}, true, &prof);
+        benchmark::DoNotOptimize(out.exitValue);
+    }
+}
+BENCHMARK(BM_ProfiledSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace jrpm
+
+BENCHMARK_MAIN();

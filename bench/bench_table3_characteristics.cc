@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates the left half of Table 3: per-benchmark
+ * characteristics, the STLs TEST selects, and the runtime TLS
+ * statistics (thread sizes, threads per entry, speculative buffer
+ * usage, serial fraction).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    JrpmConfig cfg = bench::benchConfig();
+
+    std::printf("Table 3 (characteristics & TLS statistics)\n"
+                "(a) analyzable by a traditional parallelizing "
+                "compiler  (b) data-set sensitive\n"
+                "(c) loops  (d) max nest depth  (e) selected STLs  "
+                "(f) avg selected depth\n"
+                "(g) threads/STL entry  (h) thread size (cycles)  "
+                "(i) serial fraction\n"
+                "(j) avg load-buffer lines  (k) avg store-buffer "
+                "lines\n\n");
+    TextTable t;
+    t.setHeader({"category", "benchmark", "data set", "(a)", "(b)",
+                 "(c)", "(d)", "(e)", "(f)", "(g)", "(h)", "(i)",
+                 "(j)", "(k)"});
+
+    for (const auto &w : bench::selectWorkloads(opt)) {
+        JrpmReport rep = bench::runReport(w, cfg);
+        JrpmSystem sys(w, cfg);
+
+        // Static loop structure.
+        std::uint32_t loops = 0, max_depth = 0;
+        std::map<std::int32_t, std::uint32_t> depth_of;
+        for (const auto &li : sys.jit().loopInfos()) {
+            ++loops;
+            const auto &nest = sys.jit().loopNest(li.methodId);
+            const auto d = nest.byId(li.loopId).depth;
+            depth_of[li.loopId] = d;
+            max_depth = std::max(max_depth, d);
+        }
+
+        // Selected decompositions and their runtime behaviour.
+        SampleStat sel_depth, threads_per_entry, thread_size;
+        SampleStat load_lines, store_lines;
+        for (const auto &sel : rep.selections) {
+            sel_depth.sample(depth_of.count(sel.loopId)
+                                 ? depth_of[sel.loopId]
+                                 : 1);
+            auto it = rep.tls.stl.find(sel.loopId);
+            if (it == rep.tls.stl.end())
+                continue;
+            const StlRuntimeStats &rs = it->second;
+            if (rs.entries)
+                threads_per_entry.sample(
+                    static_cast<double>(rs.commits) /
+                    static_cast<double>(rs.entries));
+            thread_size.merge(rs.threadCycles);
+            load_lines.merge(rs.loadLines);
+            store_lines.merge(rs.storeLines);
+        }
+        const ExecStats &s = rep.tls.stats;
+        const double serial_frac =
+            s.total() > 0 ? s.serial / s.total() : 0.0;
+
+        t.addRow({w.category, w.name,
+                  w.dataSet.empty() ? "-" : w.dataSet,
+                  w.analyzable ? "Y" : "N",
+                  w.dataSetSensitive ? "Y" : "N",
+                  strfmt("%u", loops), strfmt("%u", max_depth),
+                  strfmt("%zu", rep.selections.size()),
+                  bench::fmt1(sel_depth.mean()),
+                  bench::fmt1(threads_per_entry.mean()),
+                  bench::fmt1(thread_size.mean()),
+                  bench::fmtPct(serial_frac),
+                  bench::fmt1(load_lines.mean()),
+                  bench::fmt1(store_lines.mean())});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::run(argc, argv);
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Regenerates the right half of Table 3: the speedup contribution of
+ * each §4.2 compiler optimization and §5 VM modification, measured
+ * by recompiling each benchmark's selected STLs with the feature
+ * disabled and comparing TLS execution time.
+ *
+ *   hoist    §4.2.7 hoisted startup/shutdown handlers
+ *   multi    §4.2.6 multilevel STL decompositions
+ *   inv      §4.2.1 loop-invariant register allocation
+ *   red      §4.2.5 reduction operators
+ *   sync     §4.2.4 thread synchronizing lock
+ *   reset    §4.2.3 reset-able non-communicating inductors
+ *   alloc    §5.2 per-CPU speculative allocation
+ *   lock     §5.3 speculation-aware object locks
+ *
+ * A cell shows (t_disabled - t_enabled) / t_enabled: how much slower
+ * the benchmark gets without the feature.  "-" means the feature
+ * never applied (difference below noise).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+double
+tlsCycles(const Workload &w, const JrpmConfig &cfg,
+          const std::vector<SelectedStl> &sels)
+{
+    JrpmSystem sys(w, cfg);
+    RunOutcome out = sys.runTls(w.mainArgs, sels);
+    if (!out.halted)
+        warn("%s: toggled TLS run did not halt", w.name.c_str());
+    return static_cast<double>(out.cycles);
+}
+
+std::string
+cell(double base, double toggled)
+{
+    const double gain = (toggled - base) / base;
+    if (gain < 0.005 && gain > -0.005)
+        return "-";
+    return strfmt("%+.0f%%", 100.0 * gain);
+}
+
+int
+run(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    JrpmConfig cfg = bench::benchConfig();
+
+    std::printf("Table 3 (speedups from TLS optimizations and VM "
+                "modifications)\n\n");
+    TextTable t;
+    t.setHeader({"category", "benchmark", "hoist", "multi", "inv",
+                 "red", "sync", "reset", "alloc", "lock"});
+
+    for (const auto &w : bench::selectWorkloads(opt)) {
+        std::fprintf(stderr, "  ablating %s ...\n", w.name.c_str());
+        JrpmSystem sys(w, cfg);
+        auto sels = sys.selectOnly();
+        const double base = tlsCycles(w, cfg, sels);
+
+        auto with = [&](auto &&tweak) {
+            JrpmConfig c = cfg;
+            tweak(c);
+            return tlsCycles(w, c, sels);
+        };
+        const double no_hoist = with(
+            [](JrpmConfig &c) { c.jit.optHoistHandlers = false; });
+        const double no_multi = with(
+            [](JrpmConfig &c) { c.jit.optMultilevel = false; });
+        const double no_inv = with([](JrpmConfig &c) {
+            c.jit.optLoopInvariantRegs = false;
+        });
+        const double no_red = with(
+            [](JrpmConfig &c) { c.jit.optReductions = false; });
+        const double no_sync = with(
+            [](JrpmConfig &c) { c.jit.optSyncLocks = false; });
+        const double no_reset = with([](JrpmConfig &c) {
+            c.jit.optResetableInductors = false;
+        });
+        const double no_alloc = with([](JrpmConfig &c) {
+            c.vm.speculativeAllocators = false;
+        });
+        const double no_lock = with([](JrpmConfig &c) {
+            c.vm.speculativeLockElision = false;
+        });
+
+        t.addRow({w.category, w.name, cell(base, no_hoist),
+                  cell(base, no_multi), cell(base, no_inv),
+                  cell(base, no_red), cell(base, no_sync),
+                  cell(base, no_reset), cell(base, no_alloc),
+                  cell(base, no_lock)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::run(argc, argv);
+}

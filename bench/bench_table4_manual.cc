@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Table 4: the manual source transformations that expose
+ * parallelism TEST cannot create automatically — and the Table 3
+ * "Manual" column, the speedup the transformed program achieves over
+ * the untransformed one under TLS.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    JrpmConfig cfg = bench::benchConfig();
+
+    const char *names[] = {"NumHeapSort", "Huffman",
+                           "MipsSimulator", "db", "compress",
+                           "monteCarlo"};
+
+    std::printf("Table 4 - Manual transformations improving "
+                "speculative performance\n\n");
+    TextTable t;
+    t.setHeader({"benchmark", "lines", "base TLS speedup",
+                 "manual TLS speedup", "gain", "modified operations"});
+
+    for (const char *name : names) {
+        if (!opt.only.empty() && opt.only != name)
+            continue;
+        Workload base = wl::workloadByName(name);
+        Workload manual;
+        if (!wl::manualVariant(name, manual))
+            continue;
+        if (opt.quick) {
+            base.mainArgs = base.profileArgs;
+            base.profileArgs.clear();
+            manual.mainArgs = manual.profileArgs;
+            manual.profileArgs.clear();
+        }
+        JrpmReport rb = bench::runReport(base, cfg);
+        JrpmReport rm = bench::runReport(manual, cfg);
+        const double gain =
+            rb.actualSpeedup > 0
+                ? rm.actualSpeedup / rb.actualSpeedup - 1.0
+                : 0.0;
+        t.addRow({name, strfmt("%u", base.manualLines),
+                  bench::fmt2(rb.actualSpeedup),
+                  bench::fmt2(rm.actualSpeedup),
+                  strfmt("%+.0f%%", 100.0 * gain),
+                  base.manualNote});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::run(argc, argv);
+}

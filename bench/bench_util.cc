@@ -1,0 +1,86 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+namespace bench
+{
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            opt.quick = true;
+        } else if (!std::strncmp(argv[i], "--only=", 7)) {
+            opt.only = argv[i] + 7;
+        } else if (!std::strcmp(argv[i], "--help")) {
+            std::printf("usage: %s [--quick] [--only=<benchmark>]\n",
+                        argv[0]);
+            std::exit(0);
+        }
+    }
+    return opt;
+}
+
+std::vector<Workload>
+selectWorkloads(const Options &opt)
+{
+    std::vector<Workload> out;
+    for (auto &w : wl::allWorkloads()) {
+        if (!opt.only.empty() && w.name != opt.only)
+            continue;
+        if (opt.quick && !w.profileArgs.empty()) {
+            w.mainArgs = w.profileArgs;
+            w.profileArgs.clear();
+        }
+        out.push_back(std::move(w));
+    }
+    if (out.empty())
+        fatal("no workload matches '%s'", opt.only.c_str());
+    return out;
+}
+
+JrpmConfig
+benchConfig()
+{
+    return JrpmConfig{};
+}
+
+JrpmReport
+runReport(const Workload &w, const JrpmConfig &cfg)
+{
+    std::fprintf(stderr, "  running %s ...\n", w.name.c_str());
+    JrpmSystem sys(w, cfg);
+    JrpmReport rep = sys.run();
+    if (!rep.outputsMatch)
+        warn("%s: speculative output differs from sequential!",
+             w.name.c_str());
+    return rep;
+}
+
+std::string
+fmt1(double v)
+{
+    return strfmt("%.1f", v);
+}
+
+std::string
+fmt2(double v)
+{
+    return strfmt("%.2f", v);
+}
+
+std::string
+fmtPct(double fraction)
+{
+    return strfmt("%.0f%%", 100.0 * fraction);
+}
+
+} // namespace bench
+} // namespace jrpm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses that regenerate the
+ * paper's tables and figures.  Every binary accepts:
+ *   --quick            run on the (smaller) profiling inputs
+ *   --only=<name>      restrict to one benchmark
+ */
+
+#ifndef JRPM_BENCH_BENCH_UTIL_HH
+#define JRPM_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace jrpm
+{
+namespace bench
+{
+
+/** Parsed command line. */
+struct Options
+{
+    bool quick = false;
+    std::string only;
+};
+
+Options parseArgs(int argc, char **argv);
+
+/** The workload list honoring --only, with --quick applied. */
+std::vector<Workload> selectWorkloads(const Options &opt);
+
+/** Default Jrpm configuration for benches. */
+JrpmConfig benchConfig();
+
+/** Run the full pipeline for one workload with progress output. */
+JrpmReport runReport(const Workload &w, const JrpmConfig &cfg);
+
+/** printf into a std::string with %.nf convenience. */
+std::string fmt1(double v);
+std::string fmt2(double v);
+std::string fmtPct(double fraction);
+
+} // namespace bench
+} // namespace jrpm
+
+#endif // JRPM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,314 @@
+#include "bytecode.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace jrpm
+{
+
+std::uint32_t
+BcProgram::methodId(const std::string &name) const
+{
+    for (std::size_t i = 0; i < methods.size(); ++i)
+        if (methods[i].name == name)
+            return static_cast<std::uint32_t>(i);
+    panic("unknown method %s", name.c_str());
+}
+
+bool
+bcIsBranch(Bc op)
+{
+    switch (op) {
+      case Bc::GOTO:
+      case Bc::IFEQ: case Bc::IFNE: case Bc::IFLT: case Bc::IFGE:
+      case Bc::IFGT: case Bc::IFLE:
+      case Bc::IF_ICMPEQ: case Bc::IF_ICMPNE: case Bc::IF_ICMPLT:
+      case Bc::IF_ICMPGE: case Bc::IF_ICMPGT: case Bc::IF_ICMPLE:
+      case Bc::IF_FCMPLT: case Bc::IF_FCMPGE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+bcIsCondBranch(Bc op)
+{
+    return bcIsBranch(op) && op != Bc::GOTO;
+}
+
+bool
+bcIsTerminator(Bc op)
+{
+    return op == Bc::GOTO || op == Bc::RET || op == Bc::IRET ||
+           op == Bc::THROW;
+}
+
+int
+bcPops(const BcProgram &prog, const BcInst &inst)
+{
+    switch (inst.op) {
+      case Bc::ICONST: case Bc::FCONST: case Bc::LOAD:
+      case Bc::IINC: case Bc::GOTO: case Bc::NEW:
+      case Bc::GETSTATIC: case Bc::RET: case Bc::BCNOP:
+      case Bc::SAFEPOINT: case Bc::SYNC_ENTER: case Bc::SYNC_EXIT:
+        return 0;
+      case Bc::STORE: case Bc::INEG: case Bc::FNEG:
+      case Bc::I2F: case Bc::F2I:
+      case Bc::IFEQ: case Bc::IFNE: case Bc::IFLT: case Bc::IFGE:
+      case Bc::IFGT: case Bc::IFLE:
+      case Bc::NEWARRAY: case Bc::ARRAYLEN: case Bc::GETF:
+      case Bc::PUTSTATIC: case Bc::IRET: case Bc::POP:
+      case Bc::THROW: case Bc::PRINT:
+        return 1;
+      case Bc::DUP:
+        return 1;
+      case Bc::IADD: case Bc::ISUB: case Bc::IMUL: case Bc::IDIV:
+      case Bc::IREM: case Bc::IAND: case Bc::IOR: case Bc::IXOR:
+      case Bc::ISHL: case Bc::ISHR: case Bc::IUSHR:
+      case Bc::FADD: case Bc::FSUB: case Bc::FMUL: case Bc::FDIV:
+      case Bc::IF_ICMPEQ: case Bc::IF_ICMPNE: case Bc::IF_ICMPLT:
+      case Bc::IF_ICMPGE: case Bc::IF_ICMPGT: case Bc::IF_ICMPLE:
+      case Bc::IF_FCMPLT: case Bc::IF_FCMPGE:
+      case Bc::IALOAD: case Bc::BALOAD: case Bc::PUTF:
+        return 2;
+      case Bc::IASTORE: case Bc::BASTORE:
+        return 3;
+      case Bc::CALL:
+        return static_cast<int>(
+            prog.methods.at(inst.imm).numArgs);
+    }
+    return 0;
+}
+
+int
+bcPushes(const BcProgram &prog, const BcInst &inst)
+{
+    switch (inst.op) {
+      case Bc::ICONST: case Bc::FCONST: case Bc::LOAD:
+      case Bc::INEG: case Bc::FNEG: case Bc::I2F: case Bc::F2I:
+      case Bc::IADD: case Bc::ISUB: case Bc::IMUL: case Bc::IDIV:
+      case Bc::IREM: case Bc::IAND: case Bc::IOR: case Bc::IXOR:
+      case Bc::ISHL: case Bc::ISHR: case Bc::IUSHR:
+      case Bc::FADD: case Bc::FSUB: case Bc::FMUL: case Bc::FDIV:
+      case Bc::NEWARRAY: case Bc::ARRAYLEN: case Bc::IALOAD:
+      case Bc::BALOAD: case Bc::NEW: case Bc::GETF:
+      case Bc::GETSTATIC:
+        return 1;
+      case Bc::DUP:
+        return 2;
+      case Bc::CALL:
+        return prog.methods.at(inst.imm).returnsValue ? 1 : 0;
+      default:
+        return 0;
+    }
+}
+
+std::string
+verify(const BcProgram &prog)
+{
+    if (prog.entryMethod >= prog.methods.size())
+        return "entry method out of range";
+    for (std::size_t mi = 0; mi < prog.methods.size(); ++mi) {
+        const BcMethod &m = prog.methods[mi];
+        const auto n = static_cast<std::int32_t>(m.code.size());
+        if (m.numArgs > m.numLocals)
+            return strfmt("%s: args exceed locals", m.name.c_str());
+        if (n == 0)
+            return strfmt("%s: empty method", m.name.c_str());
+
+        // Per-index stack depth, -1 = unvisited.
+        std::vector<int> depth(m.code.size(), -1);
+        std::vector<std::int32_t> work;
+        auto push_target = [&](std::int32_t at, int d) -> std::string {
+            if (at < 0 || at >= n)
+                return strfmt("%s: branch target %d out of range",
+                              m.name.c_str(), at);
+            if (depth[at] == -1) {
+                depth[at] = d;
+                work.push_back(at);
+            } else if (depth[at] != d) {
+                return strfmt("%s: inconsistent stack depth at %d "
+                              "(%d vs %d)",
+                              m.name.c_str(), at, depth[at], d);
+            }
+            return "";
+        };
+
+        std::string err = push_target(0, 0);
+        if (!err.empty())
+            return err;
+        for (const auto &c : m.catches) {
+            if (c.begin < 0 || c.end > n || c.handler < 0 ||
+                c.handler >= n)
+                return strfmt("%s: catch range out of bounds",
+                              m.name.c_str());
+            // Handlers start with the exception value on the stack.
+            err = push_target(c.handler, 1);
+            if (!err.empty())
+                return err;
+        }
+
+        while (!work.empty()) {
+            std::int32_t at = work.back();
+            work.pop_back();
+            int d = depth[at];
+            while (at < n) {
+                const BcInst &inst = m.code[at];
+                if ((inst.op == Bc::LOAD || inst.op == Bc::STORE ||
+                     inst.op == Bc::IINC) &&
+                    (inst.imm < 0 ||
+                     static_cast<std::uint32_t>(inst.imm) >=
+                         m.numLocals))
+                    return strfmt("%s: local %d out of range at %d",
+                                  m.name.c_str(), inst.imm, at);
+                if (inst.op == Bc::CALL &&
+                    (inst.imm < 0 ||
+                     static_cast<std::size_t>(inst.imm) >=
+                         prog.methods.size()))
+                    return strfmt("%s: call target %d unknown",
+                                  m.name.c_str(), inst.imm);
+                if (inst.op == Bc::NEW &&
+                    (inst.imm < 0 ||
+                     static_cast<std::size_t>(inst.imm) >=
+                         prog.classes.size()))
+                    return strfmt("%s: class %d unknown",
+                                  m.name.c_str(), inst.imm);
+                if ((inst.op == Bc::GETSTATIC ||
+                     inst.op == Bc::PUTSTATIC) &&
+                    (inst.imm < 0 ||
+                     static_cast<std::uint32_t>(inst.imm) >=
+                         prog.numStatics))
+                    return strfmt("%s: static %d out of range",
+                                  m.name.c_str(), inst.imm);
+
+                d -= bcPops(prog, inst);
+                if (d < 0)
+                    return strfmt("%s: stack underflow at %d",
+                                  m.name.c_str(), at);
+                d += bcPushes(prog, inst);
+                if (d > 256)
+                    return strfmt("%s: stack too deep at %d",
+                                  m.name.c_str(), at);
+
+                if (inst.op == Bc::IRET && d != 0)
+                    return strfmt("%s: IRET with depth %d at %d",
+                                  m.name.c_str(), d, at);
+                if (inst.op == Bc::RET && d != 0)
+                    return strfmt("%s: RET with depth %d at %d",
+                                  m.name.c_str(), d, at);
+
+                if (bcIsBranch(inst.op)) {
+                    err = push_target(inst.imm, d);
+                    if (!err.empty())
+                        return err;
+                }
+                if (bcIsTerminator(inst.op))
+                    break;
+                // Fall through.
+                ++at;
+                if (at < n) {
+                    if (depth[at] == -1) {
+                        depth[at] = d;
+                    } else {
+                        if (depth[at] != d)
+                            return strfmt(
+                                "%s: inconsistent depth at %d",
+                                m.name.c_str(), at);
+                        break; // already explored
+                    }
+                }
+            }
+            if (at >= n && !m.code.empty() &&
+                !bcIsTerminator(m.code.back().op))
+                return strfmt("%s: control falls off the end",
+                              m.name.c_str());
+        }
+    }
+    return "";
+}
+
+BcBuilder::BcBuilder(std::string method_name, std::uint32_t num_args,
+                     std::uint32_t num_locals, bool returns_value)
+    : name(std::move(method_name)), numArgs(num_args),
+      numLocals(num_locals), returnsValue(returns_value)
+{
+}
+
+BcBuilder::Label
+BcBuilder::newLabel()
+{
+    labelPos.push_back(-1);
+    return static_cast<Label>(labelPos.size() - 1);
+}
+
+void
+BcBuilder::bind(Label l)
+{
+    if (labelPos.at(l) != -1)
+        panic("bytecode label %d bound twice in %s", l, name.c_str());
+    labelPos[l] = here();
+}
+
+void
+BcBuilder::emit(Bc op, std::int32_t imm, std::int32_t imm2)
+{
+    if (finished)
+        panic("emit after finish in %s", name.c_str());
+    code.push_back({op, imm, imm2});
+}
+
+void
+BcBuilder::br(Bc op, Label l)
+{
+    if (!bcIsBranch(op))
+        panic("br() with non-branch opcode in %s", name.c_str());
+    fixups.emplace_back(here(), l);
+    code.push_back({op, -1, 0});
+}
+
+void
+BcBuilder::fconst(float v)
+{
+    emit(Bc::FCONST, static_cast<std::int32_t>(floatToWord(v)));
+}
+
+void
+BcBuilder::addCatch(Label begin, Label end, Label handler,
+                    std::int32_t kind)
+{
+    pendingCatches.push_back({begin, end, handler, kind});
+}
+
+BcMethod
+BcBuilder::finish()
+{
+    if (finished)
+        panic("finish called twice in %s", name.c_str());
+    finished = true;
+    BcMethod m;
+    m.name = name;
+    m.numArgs = numArgs;
+    m.numLocals = numLocals;
+    m.returnsValue = returnsValue;
+    m.isSynchronized = synced;
+    for (const auto &[at, label] : fixups) {
+        if (labelPos[label] == -1)
+            panic("unbound bytecode label %d in %s", label,
+                  name.c_str());
+        code[at].imm = labelPos[label];
+    }
+    for (const auto &pc : pendingCatches) {
+        if (labelPos[pc.begin] == -1 || labelPos[pc.end] == -1 ||
+            labelPos[pc.handler] == -1)
+            panic("unbound catch label in %s", name.c_str());
+        m.catches.push_back({labelPos[pc.begin], labelPos[pc.end],
+                             labelPos[pc.handler], pc.kind});
+    }
+    m.code = std::move(code);
+    return m;
+}
+
+} // namespace jrpm

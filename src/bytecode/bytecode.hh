@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The virtual machine's portable bytecode — a compact, typed, stack
+ * bytecode modeled on the JVM subset the Jrpm paper's workloads
+ * exercise: locals, int/float arithmetic, arrays, objects with word
+ * fields, statics, calls, exceptions, and synchronized regions.
+ *
+ * Workloads are built programmatically through BcBuilder (the
+ * equivalent of shipping .class files) and compiled to native code by
+ * the microJIT in src/jit.
+ */
+
+#ifndef JRPM_BYTECODE_BYTECODE_HH
+#define JRPM_BYTECODE_BYTECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrpm
+{
+
+/** Bytecode opcodes. */
+enum class Bc : std::uint8_t
+{
+    // Constants and locals.
+    ICONST,    ///< push imm
+    FCONST,    ///< push float (imm holds the bit pattern)
+    LOAD,      ///< push locals[imm]
+    STORE,     ///< locals[imm] = pop
+    IINC,      ///< locals[imm] += imm2 (no stack traffic)
+    // Integer arithmetic: pop b, pop a, push a·b.
+    IADD, ISUB, IMUL, IDIV, IREM,
+    IAND, IOR, IXOR, ISHL, ISHR, IUSHR,
+    INEG,      ///< push -pop
+    // Float arithmetic on the same 32-bit stack slots.
+    FADD, FSUB, FMUL, FDIV, FNEG,
+    I2F, F2I,
+    // Control flow: imm is the bytecode index of the target.
+    GOTO,
+    IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE,          ///< pop a; a ? 0
+    IF_ICMPEQ, IF_ICMPNE, IF_ICMPLT, IF_ICMPGE,
+    IF_ICMPGT, IF_ICMPLE,                        ///< pop b, a; a ? b
+    IF_FCMPLT, IF_FCMPGE,                        ///< float compares
+    // Arrays (word element arrays; byte arrays via B variants).
+    NEWARRAY,  ///< pop length; push ref
+    ARRAYLEN,  ///< pop ref; push length
+    IALOAD,    ///< pop idx, ref; push ref[idx]
+    IASTORE,   ///< pop val, idx, ref
+    BALOAD, BASTORE,
+    // Objects: imm = class id for NEW; field word offset for GETF.
+    NEW,
+    GETF, PUTF,
+    // Statics: imm = global slot index.
+    GETSTATIC, PUTSTATIC,
+    // Calls: imm = method id (resolved by the Program container).
+    CALL,
+    RET,       ///< return void
+    IRET,      ///< return pop
+    // Stack shuffling.
+    POP, DUP,
+    // Monitors (§5.3): imm = static lock object/class id.
+    SYNC_ENTER, SYNC_EXIT,
+    // Exceptions: pop value; imm = kind.
+    THROW,
+    // Runtime services.
+    PRINT,     ///< pop value; prints (non-speculable I/O)
+    SAFEPOINT, ///< GC may run here (sequential code only)
+    BCNOP,
+};
+
+/** One bytecode instruction. */
+struct BcInst
+{
+    Bc op = Bc::BCNOP;
+    std::int32_t imm = 0;
+    std::int32_t imm2 = 0;
+};
+
+/** Bytecode-level try/catch region. */
+struct BcCatch
+{
+    std::int32_t begin = 0;    ///< first covered bytecode index
+    std::int32_t end = 0;      ///< one past the last covered index
+    std::int32_t handler = 0;  ///< handler bytecode index
+    std::int32_t kind = -1;    ///< exception kind filter (-1 = any)
+};
+
+/** A method: bytecode plus its frame metadata. */
+struct BcMethod
+{
+    std::string name;
+    std::uint32_t numArgs = 0;
+    std::uint32_t numLocals = 0;   ///< including args (slots 0..)
+    bool returnsValue = false;
+    bool isSynchronized = false;   ///< synchronized method (§5.3)
+    std::vector<BcInst> code;
+    std::vector<BcCatch> catches;
+};
+
+/** A class: only its payload size matters to the runtime. */
+struct BcClass
+{
+    std::string name;
+    std::uint32_t payloadWords = 0;
+};
+
+/** A whole program: classes, methods, entry point, statics. */
+struct BcProgram
+{
+    std::vector<BcClass> classes;
+    std::vector<BcMethod> methods;
+    std::uint32_t entryMethod = 0;
+    std::uint32_t numStatics = 0;
+
+    /** Look up a method id by name; panics if absent. */
+    std::uint32_t methodId(const std::string &name) const;
+};
+
+/**
+ * Verify structural well-formedness: branch targets in range, stack
+ * depths consistent at join points, local indices within bounds.
+ * @return empty string if OK, else a diagnostic.
+ */
+std::string verify(const BcProgram &prog);
+
+/** How many values an instruction pops / pushes (prog for CALL). */
+int bcPops(const BcProgram &prog, const BcInst &inst);
+int bcPushes(const BcProgram &prog, const BcInst &inst);
+
+/** True if the opcode transfers control (imm is a bytecode target). */
+bool bcIsBranch(Bc op);
+/** True for conditional branches (fall-through also possible). */
+bool bcIsCondBranch(Bc op);
+/** True if execution cannot fall through (GOTO/RET/IRET/THROW). */
+bool bcIsTerminator(Bc op);
+
+/** Builder with labels, mirroring the Asm builder's ergonomics. */
+class BcBuilder
+{
+  public:
+    explicit BcBuilder(std::string name, std::uint32_t num_args,
+                       std::uint32_t num_locals, bool returns_value);
+
+    using Label = std::int32_t;
+    Label newLabel();
+    void bind(Label l);
+
+    /** Append an instruction with no label operand. */
+    void emit(Bc op, std::int32_t imm = 0, std::int32_t imm2 = 0);
+    /** Append a branch to a label. */
+    void br(Bc op, Label l);
+
+    // Convenience emitters for common shapes.
+    void iconst(std::int32_t v) { emit(Bc::ICONST, v); }
+    void fconst(float v);
+    void load(std::uint32_t slot) { emit(Bc::LOAD, slot); }
+    void store(std::uint32_t slot) { emit(Bc::STORE, slot); }
+    void iinc(std::uint32_t slot, std::int32_t by)
+    {
+        emit(Bc::IINC, slot, by);
+    }
+
+    void addCatch(Label begin, Label end, Label handler,
+                  std::int32_t kind = -1);
+    void setSynchronized() { synced = true; }
+
+    std::int32_t here() const
+    {
+        return static_cast<std::int32_t>(code.size());
+    }
+
+    BcMethod finish();
+
+  private:
+    std::string name;
+    std::uint32_t numArgs, numLocals;
+    bool returnsValue;
+    bool synced = false;
+    std::vector<BcInst> code;
+    std::vector<std::int32_t> labelPos;
+    std::vector<std::pair<std::int32_t, Label>> fixups;
+    struct PendingCatch { Label begin, end, handler; std::int32_t kind; };
+    std::vector<PendingCatch> pendingCatches;
+    bool finished = false;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_BYTECODE_BYTECODE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was broken; this is a simulator bug.
+ * fatal()  — the simulation cannot continue due to user input/config.
+ * warn()   — something is approximated or suspicious but survivable.
+ * inform() — plain status for the user.
+ */
+
+#ifndef JRPM_COMMON_LOGGING_HH
+#define JRPM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace jrpm
+{
+
+/** Abort with a message: an internal simulator bug was detected. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with a message: the user asked for something unsupported. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (benchmark harnesses use this). */
+void setQuiet(bool quiet);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_LOGGING_HH

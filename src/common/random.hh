@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload generation.
+ *
+ * Workloads must be bit-reproducible across runs and platforms so that
+ * sequential and speculative executions can be compared word-for-word;
+ * we therefore avoid std::mt19937's unspecified distribution mappings
+ * and ship a small xorshift generator with explicit mappings.
+ */
+
+#ifndef JRPM_COMMON_RANDOM_HH
+#define JRPM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace jrpm
+{
+
+/** xorshift64* PRNG; deterministic and seedable. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        return static_cast<std::uint32_t>(next() % bound);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int32_t
+    range(std::int32_t lo, std::int32_t hi)
+    {
+        return lo + static_cast<std::int32_t>(
+            next() % static_cast<std::uint64_t>(hi - lo + 1));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    unit()
+    {
+        return static_cast<float>(next() >> 40) / 16777216.0f;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) / 9007199254740992.0 < p;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_RANDOM_HH

@@ -1,0 +1,59 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace jrpm
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cols)
+{
+    if (!rows.empty())
+        panic("TextTable::setHeader called after rows were added");
+    rows.push_back(std::move(cols));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cols)
+{
+    if (rows.empty())
+        panic("TextTable::addRow called before setHeader");
+    if (cols.size() != rows.front().size())
+        panic("TextTable row arity %zu != header arity %zu",
+              cols.size(), rows.front().size());
+    rows.push_back(std::move(cols));
+}
+
+std::string
+TextTable::render() const
+{
+    if (rows.empty())
+        return "";
+    std::vector<std::size_t> widths(rows.front().size(), 0);
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            if (c)
+                out << "  ";
+            out << rows[r][c];
+            out << std::string(widths[c] - rows[r][c].size(), ' ');
+        }
+        out << "\n";
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c ? 2 : 0);
+            out << std::string(total, '-') << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace jrpm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by every simulator block.
+ */
+
+#ifndef JRPM_COMMON_STATS_HH
+#define JRPM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrpm
+{
+
+/** A running mean/min/max accumulator over a stream of samples. */
+class SampleStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        count_ += 1;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const SampleStat &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        count_ += o.count_;
+        sum_ += o.sum_;
+        if (o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
+
+    void
+    reset()
+    {
+        *this = SampleStat();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram with an overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket
+     *  @param num_buckets  number of regular buckets */
+    explicit Histogram(double bucket_width = 1.0,
+                       std::size_t num_buckets = 64)
+        : width(bucket_width), buckets(num_buckets + 1, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        stat.sample(v);
+        std::size_t idx = v < 0 ? 0 : static_cast<std::size_t>(v / width);
+        if (idx >= buckets.size() - 1)
+            idx = buckets.size() - 1;
+        buckets[idx] += 1;
+    }
+
+    const SampleStat &summary() const { return stat; }
+    const std::vector<std::uint64_t> &raw() const { return buckets; }
+
+  private:
+    double width;
+    std::vector<std::uint64_t> buckets;
+    SampleStat stat;
+};
+
+/**
+ * A fixed-width text table printer used by the benchmark harnesses to
+ * regenerate the paper's tables.
+ */
+class TextTable
+{
+  public:
+    /** Set the column headers; call once before addRow(). */
+    void setHeader(std::vector<std::string> cols);
+
+    /** Add one data row (must match header arity). */
+    void addRow(std::vector<std::string> cols);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_STATS_HH

@@ -1,0 +1,25 @@
+#include "types.hh"
+
+#include <cstring>
+
+namespace jrpm
+{
+
+float
+wordToFloat(Word w)
+{
+    float f;
+    static_assert(sizeof(f) == sizeof(w));
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+Word
+floatToWord(float f)
+{
+    Word w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+} // namespace jrpm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across the Jrpm simulator.
+ *
+ * The simulated machine is a 32-bit MIPS-like CMP: addresses, registers
+ * and memory words are all 32 bits wide.  Cycle counts are 64-bit to
+ * survive long simulations.
+ */
+
+#ifndef JRPM_COMMON_TYPES_HH
+#define JRPM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace jrpm
+{
+
+/** Simulated byte address (32-bit machine). */
+using Addr = std::uint32_t;
+
+/** A 32-bit machine word: register contents, memory words. */
+using Word = std::uint32_t;
+
+/** Signed view of a machine word. */
+using SWord = std::int32_t;
+
+/** Global simulation time, in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** Bit-cast a word to the float it encodes (IEEE-754 single). */
+float wordToFloat(Word w);
+
+/** Bit-cast a float to its word encoding. */
+Word floatToWord(float f);
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_TYPES_HH

@@ -1,0 +1,255 @@
+#include "jrpm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+JrpmSystem::JrpmSystem(Workload workload, JrpmConfig config)
+    : load(std::move(workload)), cfg(std::move(config)),
+      theJit(load.program, cfg.jit)
+{
+    if (load.profileArgs.empty())
+        load.profileArgs = load.mainArgs;
+}
+
+RunOutcome
+JrpmSystem::runOn(Machine &m, const std::vector<Word> &args)
+{
+    VmRuntime vm(m, cfg.vm);
+    m.setRuntime(&vm);
+    m.start(load.program.entryMethod, args, cfg.vm.stackTop);
+    vm.prepare();
+    const bool halted = m.run(cfg.maxCycles);
+    if (!halted)
+        warn("%s: run did not complete within %llu cycles",
+             load.name.c_str(),
+             static_cast<unsigned long long>(cfg.maxCycles));
+    RunOutcome out;
+    out.halted = halted;
+    out.uncaught = m.uncaughtException();
+    out.exitValue = m.exitValue();
+    out.cycles = m.now();
+    out.insts = m.instCount();
+    out.stats = m.stats();
+    out.stl = m.stlStats();
+    out.vm = vm.stats();
+    m.setRuntime(nullptr);
+    return out;
+}
+
+RunOutcome
+JrpmSystem::runSequential(const std::vector<Word> &args,
+                          bool annotated, TestProfiler *prof)
+{
+    Machine m(cfg.sys);
+    theJit.compileAll(m.codeSpace(), annotated
+                                         ? CompileMode::Profiling
+                                         : CompileMode::Plain);
+    if (prof)
+        m.setProfiler(prof);
+    return runOn(m, args);
+}
+
+RunOutcome
+JrpmSystem::runTls(const std::vector<Word> &args,
+                   const std::vector<SelectedStl> &selections)
+{
+    Machine m(cfg.sys);
+    std::vector<StlRequest> reqs;
+    reqs.reserve(selections.size());
+    for (const auto &sel : selections)
+        reqs.push_back({sel.loopId, sel.plan});
+    theJit.compileAll(m.codeSpace(), CompileMode::Tls, reqs);
+    return runOn(m, args);
+}
+
+std::vector<SelectedStl>
+JrpmSystem::filterDynamicNesting(
+    std::vector<SelectedStl> selections) const
+{
+    const BcProgram &prog = theJit.program();
+    const std::size_t nm = prog.methods.size();
+
+    // Transitive call-graph closure: reach[m] = methods callable
+    // from m.
+    std::vector<std::set<std::uint32_t>> reach(nm);
+    for (std::uint32_t mi = 0; mi < nm; ++mi)
+        for (const auto &inst : prog.methods[mi].code)
+            if (inst.op == Bc::CALL)
+                reach[mi].insert(
+                    static_cast<std::uint32_t>(inst.imm));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t mi = 0; mi < nm; ++mi) {
+            for (std::uint32_t callee :
+                 std::set<std::uint32_t>(reach[mi])) {
+                for (std::uint32_t t : reach[callee])
+                    if (reach[mi].insert(t).second)
+                        changed = true;
+            }
+        }
+    }
+
+    // Methods reachable from a loop's body (directly or transitively).
+    auto bodyReach = [&](const SelectedStl &sel) {
+        std::set<std::uint32_t> out;
+        for (const auto &li : theJit.loopInfos()) {
+            if (li.loopId != sel.loopId)
+                continue;
+            const LoopNest &nest = theJit.loopNest(li.methodId);
+            const JitLoop &loop = nest.byId(sel.loopId);
+            const BcMethod &m = prog.methods[li.methodId];
+            for (std::int32_t bc : loop.body) {
+                if (m.code[bc].op != Bc::CALL)
+                    continue;
+                const auto callee =
+                    static_cast<std::uint32_t>(m.code[bc].imm);
+                out.insert(callee);
+                out.insert(reach[callee].begin(),
+                           reach[callee].end());
+            }
+        }
+        return out;
+    };
+    auto methodOf = [&](std::int32_t loop_id) {
+        for (const auto &li : theJit.loopInfos())
+            if (li.loopId == loop_id)
+                return li.methodId;
+        return 0u;
+    };
+
+    // Selections arrive best-covered first; keep greedily.
+    std::vector<SelectedStl> kept;
+    std::vector<std::set<std::uint32_t>> keptReach;
+    for (auto &cand : selections) {
+        const std::uint32_t cm = methodOf(cand.loopId);
+        const auto cr = bodyReach(cand);
+        bool conflict = false;
+        for (std::size_t k = 0; k < kept.size(); ++k) {
+            const std::uint32_t km = methodOf(kept[k].loopId);
+            if (keptReach[k].count(cm) || cr.count(km)) {
+                conflict = true;
+                break;
+            }
+        }
+        if (conflict) {
+            inform("dropping STL %d (dynamic nesting with a better "
+                   "selection)", cand.loopId);
+            continue;
+        }
+        kept.push_back(std::move(cand));
+        keptReach.push_back(cr);
+    }
+    return kept;
+}
+
+std::map<std::int32_t, LoopProfile>
+JrpmSystem::profileOnly()
+{
+    TestProfiler prof(cfg.tracer);
+    runSequential(load.profileArgs, true, &prof);
+    return prof.profiles();
+}
+
+std::vector<SelectedStl>
+JrpmSystem::selectOnly()
+{
+    auto profiles = profileOnly();
+    Analyzer an(cfg.analyzer);
+    return filterDynamicNesting(
+        an.select(theJit.loopInfos(), profiles));
+}
+
+JrpmReport
+JrpmSystem::run()
+{
+    JrpmReport rep;
+    rep.name = load.name;
+
+    // Baselines (step 0): plain sequential runs.
+    rep.seqMain = runSequential(load.mainArgs, false, nullptr);
+    const bool same_input = load.profileArgs == load.mainArgs;
+    rep.seqProfileIn =
+        same_input ? rep.seqMain
+                   : runSequential(load.profileArgs, false, nullptr);
+
+    // Steps 1-2: compile annotated, run under TEST.
+    TestProfiler prof(cfg.tracer);
+    rep.profiled = runSequential(load.profileArgs, true, &prof);
+    rep.profiles = prof.profiles();
+    rep.profilingSlowdown =
+        rep.seqProfileIn.cycles
+            ? static_cast<double>(rep.profiled.cycles) /
+                  static_cast<double>(rep.seqProfileIn.cycles)
+            : 1.0;
+
+    // Step 3: choose decompositions.
+    Analyzer an(cfg.analyzer);
+    rep.selections = filterDynamicNesting(
+        an.select(theJit.loopInfos(), rep.profiles));
+
+    // Predicted whole-program TLS time (for Fig. 8): replace each
+    // selected loop's share of sequential time with its predicted
+    // speculative time.
+    {
+        const double prof_total =
+            std::max<double>(1.0, static_cast<double>(
+                rep.profiled.cycles));
+        double frac_covered = 0, frac_tls = 0;
+        for (const auto &sel : rep.selections) {
+            const double f =
+                sel.prediction.coverageCycles / prof_total;
+            frac_covered += f;
+            frac_tls += f / std::max(
+                0.01, sel.prediction.predictedSpeedup);
+        }
+        frac_covered = std::min(frac_covered, 1.0);
+        rep.predictedTlsCycles =
+            static_cast<double>(rep.seqMain.cycles) *
+            (1.0 - frac_covered + frac_tls);
+    }
+
+    // Steps 4-5: recompile and run speculatively.
+    rep.tls = runTls(load.mainArgs, rep.selections);
+
+    // Fig. 9 lifecycle accounting.
+    const auto compile_cost = static_cast<std::uint64_t>(
+        cfg.cyclesPerBytecodeCompile *
+        static_cast<double>(theJit.bytecodeCount()));
+    rep.phases.compile = compile_cost;
+    rep.phases.profiling = rep.profiled.cycles;
+    rep.phases.recompile =
+        rep.selections.empty()
+            ? 0
+            : static_cast<std::uint64_t>(
+                  cfg.recompileFraction *
+                  static_cast<double>(compile_cost));
+    rep.phases.gc = rep.tls.vm.gcCycles;
+    rep.phases.application =
+        rep.tls.cycles > rep.phases.gc
+            ? rep.tls.cycles - rep.phases.gc
+            : rep.tls.cycles;
+
+    rep.actualSpeedup =
+        rep.tls.cycles ? static_cast<double>(rep.seqMain.cycles) /
+                             static_cast<double>(rep.tls.cycles)
+                       : 1.0;
+    const std::uint64_t total = rep.phases.total();
+    rep.totalSpeedup =
+        total ? static_cast<double>(rep.seqMain.cycles +
+                                    compile_cost) /
+                    static_cast<double>(total)
+              : 1.0;
+
+    rep.outputsMatch = rep.seqMain.halted && rep.tls.halted &&
+                       !rep.seqMain.uncaught && !rep.tls.uncaught &&
+                       rep.seqMain.exitValue == rep.tls.exitValue &&
+                       rep.seqMain.vm.output == rep.tls.vm.output;
+    return rep;
+}
+
+} // namespace jrpm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Configuration of the simulated Hydra CMP (Fig. 2 and Table 1).
+ */
+
+#ifndef JRPM_CPU_CONFIG_HH
+#define JRPM_CPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "memory/spec_state.hh"
+
+namespace jrpm
+{
+
+/**
+ * Cycle costs of the TLS software control handlers (Table 1).  The
+ * "new" handlers are the paper's improved routines; the "old" ones are
+ * the earlier Hydra runtime's, selectable for the Table 1 comparison.
+ */
+struct HandlerCosts
+{
+    std::uint32_t startup = 23;   ///< STL_STARTUP (master only)
+    std::uint32_t shutdown = 16;  ///< STL_SHUTDOWN (master only)
+    std::uint32_t eoi = 5;        ///< per end-of-iteration
+    std::uint32_t restart = 6;    ///< per violation restart
+
+    /** Overheads reported for the previous runtime (Table 1, Old). */
+    static HandlerCosts
+    legacy()
+    {
+        return {41, 46, 14, 13};
+    }
+
+    /**
+     * Reduced costs when startup/shutdown work is hoisted out of a
+     * repeatedly-entered STL (§4.2.7): the slave wake-up and
+     * speculation-hardware initialization are not re-executed.
+     */
+    static HandlerCosts
+    hoisted()
+    {
+        return {8, 5, 5, 6};
+    }
+};
+
+/** Whole-machine configuration. */
+struct SystemConfig
+{
+    std::uint32_t numCpus = 4;
+    std::uint32_t memBytes = 64u << 20;
+
+    // Memory hierarchy latencies in cycles (Fig. 2); an L1 hit costs
+    // no extra cycles beyond the instruction itself.
+    std::uint32_t l2Latency = 5;
+    std::uint32_t forwardLatency = 10;  ///< inter-processor
+    std::uint32_t memLatency = 50;
+
+    // L1 data cache geometry (16 kB, 32 B lines, 4-way).
+    std::uint32_t l1Bytes = 16u << 10;
+    std::uint32_t l1Assoc = 4;
+    // Shared on-chip L2 (2 MB).
+    std::uint32_t l2Bytes = 2u << 20;
+    std::uint32_t l2Assoc = 16;
+
+    /** Model cache timing (off = every access is an L1 hit). */
+    bool cacheTiming = true;
+
+    SpecBufferConfig specBuffers;
+    HandlerCosts handlers;
+
+    /** Cycles charged per runtime trap before its memory traffic. */
+    std::uint32_t trapBaseCycles = 10;
+};
+
+/** What a CPU is doing in a given cycle, for Fig. 10 accounting. */
+enum class CpuState : std::uint8_t
+{
+    Idle,       ///< parked outside any STL
+    Run,        ///< executing application instructions
+    Wait,       ///< waiting to become head / overflow or sync stall
+    Overhead,   ///< inside a TLS handler (Table 1 costs)
+};
+
+} // namespace jrpm
+
+#endif // JRPM_CPU_CONFIG_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Interfaces through which the machine calls out to the software
+ * layers: the VM runtime (traps) and the TEST profiler.
+ */
+
+#ifndef JRPM_CPU_HOOKS_HH
+#define JRPM_CPU_HOOKS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace jrpm
+{
+
+class Machine;
+
+/**
+ * VM runtime services reached through TRAP instructions.
+ *
+ * Implementations perform their memory traffic through
+ * Machine::trapLoad/trapStore so that during speculation the accesses
+ * flow through the store buffers and participate in dependency
+ * detection — this is how the §5.2 allocator serialization arises.
+ */
+class RuntimeHooks
+{
+  public:
+    virtual ~RuntimeHooks() = default;
+
+    /**
+     * Handle a trap raised by @p cpu.
+     * @return extra cycles to charge beyond the memory traffic.
+     */
+    virtual std::uint32_t trap(Machine &m, std::uint32_t cpu,
+                               TrapId id) = 0;
+};
+
+/**
+ * TEST profiler interface: invoked by the machine while it executes an
+ * annotated program sequentially (speculation disabled).
+ */
+class ProfileHook
+{
+  public:
+    virtual ~ProfileHook() = default;
+
+    /** Entry into a prospective STL (`sloop` annotation). */
+    virtual void onLoopEntry(std::int32_t loop_id, Cycle now) = 0;
+    /** End of one iteration of a prospective STL (`eoi`). */
+    virtual void onLoopIteration(std::int32_t loop_id, Cycle now) = 0;
+    /** Exit from a prospective STL (`eloop`). */
+    virtual void onLoopExit(std::int32_t loop_id, Cycle now) = 0;
+
+    /**
+     * A heap memory access.  @p site identifies the static load
+     * instruction so critical arcs can be mapped back to code.
+     */
+    virtual void onHeapLoad(Addr addr, Cycle now, std::uint32_t site)
+        = 0;
+    virtual void onHeapStore(Addr addr, Cycle now) = 0;
+
+    /** A local-variable access annotation (`lwl` / `swl`). */
+    virtual void onLocalLoad(std::int32_t var, Cycle now) = 0;
+    virtual void onLocalStore(std::int32_t var, Cycle now) = 0;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_CPU_HOOKS_HH

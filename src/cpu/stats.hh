@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Execution statistics: the Fig. 10 state breakdown plus the per-STL
+ * runtime numbers reported in Table 3.
+ */
+
+#ifndef JRPM_CPU_STATS_HH
+#define JRPM_CPU_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace jrpm
+{
+
+/**
+ * Breakdown of execution into the six Fig. 10 states.  Units are
+ * CPU-normalized wall-clock cycles: a cycle of serial execution adds 1
+ * to `serial`; a cycle inside an STL adds 1/numCpus to the bucket of
+ * each CPU's current activity (so the six buckets sum to total
+ * wall-clock cycles).
+ */
+struct ExecStats
+{
+    double serial = 0;
+    double runUsed = 0;
+    double waitUsed = 0;
+    double overhead = 0;
+    double runViolated = 0;
+    double waitViolated = 0;
+
+    std::uint64_t violations = 0;     ///< RAW squash events
+    /** Addresses whose stores caused violations (diagnostics). */
+    std::map<std::uint64_t, std::uint64_t> violationAddrs;
+    std::uint64_t commits = 0;        ///< committed speculative threads
+    std::uint64_t stlEntries = 0;
+    std::uint64_t bufferOverflowStalls = 0;
+
+    double
+    total() const
+    {
+        return serial + runUsed + waitUsed + overhead + runViolated +
+               waitViolated;
+    }
+
+    void
+    reset()
+    {
+        *this = ExecStats();
+    }
+};
+
+/** Runtime behaviour of one executed STL (Table 3 columns g-k). */
+struct StlRuntimeStats
+{
+    std::uint64_t entries = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t violations = 0;
+    SampleStat threadCycles;     ///< committed thread sizes
+    SampleStat loadLines;        ///< speculatively-read lines/thread
+    SampleStat storeLines;       ///< store-buffer lines/thread
+    std::uint64_t cyclesInside = 0; ///< wall cycles with this STL active
+};
+
+/** Per-loop-id runtime stats for a whole program run. */
+using StlStatsMap = std::map<std::int32_t, StlRuntimeStats>;
+
+} // namespace jrpm
+
+#endif // JRPM_CPU_STATS_HH

@@ -1,0 +1,112 @@
+#include "cache.hh"
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
+                       std::uint32_t assoc)
+    : lineSize(line_bytes)
+{
+    if (!isPow2(line_bytes) || size_bytes % line_bytes != 0)
+        panic("bad cache geometry: %u bytes / %u line",
+              size_bytes, line_bytes);
+    std::uint32_t lines = size_bytes / line_bytes;
+    if (assoc == 0 || assoc >= lines) {
+        numSets = 1;
+        assocWays = lines;
+    } else {
+        if (lines % assoc != 0)
+            panic("cache lines %u not divisible by assoc %u",
+                  lines, assoc);
+        numSets = lines / assoc;
+        assocWays = assoc;
+        if (!isPow2(numSets))
+            panic("cache set count %u not a power of two", numSets);
+    }
+    ways.resize(static_cast<std::size_t>(numSets) * assocWays);
+}
+
+std::uint32_t
+CacheModel::setOf(Addr addr) const
+{
+    return (addr / lineSize) & (numSets - 1);
+}
+
+Addr
+CacheModel::tagOf(Addr addr) const
+{
+    return addr / lineSize;
+}
+
+bool
+CacheModel::access(Addr addr)
+{
+    const std::uint32_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways[static_cast<std::size_t>(set) * assocWays];
+    ++useClock;
+
+    Way *lru = base;
+    for (std::uint32_t w = 0; w < assocWays; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = useClock;
+            ++nHits;
+            return true;
+        }
+        if (!base[w].valid) {
+            lru = &base[w];
+        } else if (lru->valid && base[w].lastUse < lru->lastUse) {
+            lru = &base[w];
+        }
+    }
+    lru->valid = true;
+    lru->tag = tag;
+    lru->lastUse = useClock;
+    ++nMisses;
+    return false;
+}
+
+bool
+CacheModel::probe(Addr addr) const
+{
+    const std::uint32_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    const Way *base = &ways[static_cast<std::size_t>(set) * assocWays];
+    for (std::uint32_t w = 0; w < assocWays; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+CacheModel::invalidate(Addr addr)
+{
+    const std::uint32_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways[static_cast<std::size_t>(set) * assocWays];
+    for (std::uint32_t w = 0; w < assocWays; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            base[w].valid = false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &w : ways)
+        w.valid = false;
+}
+
+} // namespace jrpm

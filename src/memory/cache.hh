@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cache timing model for the Hydra memory hierarchy.
+ *
+ * Values never live here: Hydra's L1s are write-through and the
+ * simulator keeps the architectural image in MainMemory, so the cache
+ * model only tracks tags/LRU to produce hit/miss timing per Fig. 2 of
+ * the paper (L1 hit in the pipeline, L2 +5 cycles, memory +50,
+ * inter-processor +10).
+ */
+
+#ifndef JRPM_MEMORY_CACHE_HH
+#define JRPM_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace jrpm
+{
+
+/** Where an access was satisfied, for latency selection. */
+enum class HitLevel
+{
+    L1,         ///< private L1 hit
+    L2,         ///< shared on-chip L2 hit
+    Memory,     ///< off-chip DRAM
+    Forwarded,  ///< another CPU's speculative store buffer
+};
+
+/** Tag/LRU-only set-associative cache model. */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param line_bytes line size (32 B on Hydra)
+     * @param assoc      associativity (0 = fully associative)
+     */
+    CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
+               std::uint32_t assoc);
+
+    /**
+     * Look up a line; on miss, fill it (evicting LRU).
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Look up without filling. */
+    bool probe(Addr addr) const;
+
+    /** Drop a line if present (write-through invalidation). */
+    void invalidate(Addr addr);
+
+    /** Drop everything. */
+    void flush();
+
+    std::uint32_t lineBytes() const { return lineSize; }
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t lineSize;
+    std::uint32_t numSets;
+    std::uint32_t assocWays;
+    std::vector<Way> ways;      ///< numSets * assocWays
+    std::uint64_t useClock = 0;
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+
+    std::uint32_t setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_MEMORY_CACHE_HH

@@ -1,0 +1,85 @@
+#include "main_memory.hh"
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+MainMemory::MainMemory(std::uint32_t bytes)
+    : data(bytes, 0)
+{
+}
+
+Word
+MainMemory::readWord(Addr addr) const
+{
+    if (addr % 4 != 0)
+        panic("unaligned word read at 0x%08x", addr);
+    if (!valid(addr, 4))
+        panic("word read out of range at 0x%08x", addr);
+    return static_cast<Word>(data[addr]) |
+           static_cast<Word>(data[addr + 1]) << 8 |
+           static_cast<Word>(data[addr + 2]) << 16 |
+           static_cast<Word>(data[addr + 3]) << 24;
+}
+
+void
+MainMemory::writeWord(Addr addr, Word value)
+{
+    if (addr % 4 != 0)
+        panic("unaligned word write at 0x%08x", addr);
+    if (!valid(addr, 4))
+        panic("word write out of range at 0x%08x", addr);
+    data[addr] = static_cast<std::uint8_t>(value);
+    data[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    data[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    data[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+std::uint8_t
+MainMemory::readByte(Addr addr) const
+{
+    if (!valid(addr, 1))
+        panic("byte read out of range at 0x%08x", addr);
+    return data[addr];
+}
+
+void
+MainMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    if (!valid(addr, 1))
+        panic("byte write out of range at 0x%08x", addr);
+    data[addr] = value;
+}
+
+std::uint16_t
+MainMemory::readHalf(Addr addr) const
+{
+    if (addr % 2 != 0)
+        panic("unaligned half read at 0x%08x", addr);
+    if (!valid(addr, 2))
+        panic("half read out of range at 0x%08x", addr);
+    return static_cast<std::uint16_t>(
+        data[addr] | data[addr + 1] << 8);
+}
+
+void
+MainMemory::writeHalf(Addr addr, std::uint16_t value)
+{
+    if (addr % 2 != 0)
+        panic("unaligned half write at 0x%08x", addr);
+    if (!valid(addr, 2))
+        panic("half write out of range at 0x%08x", addr);
+    data[addr] = static_cast<std::uint8_t>(value);
+    data[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void
+MainMemory::clear(Addr addr, std::uint32_t len)
+{
+    if (!valid(addr, len))
+        panic("clear out of range at 0x%08x+%u", addr, len);
+    std::fill(data.begin() + addr, data.begin() + addr + len, 0);
+}
+
+} // namespace jrpm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Flat simulated main memory of the Hydra CMP.
+ *
+ * Architectural state lives here; speculative state lives in the
+ * per-CPU store buffers until it commits (ASPLOS'98 Hydra data
+ * speculation design).  Little-endian, 32-bit address space.
+ */
+
+#ifndef JRPM_MEMORY_MAIN_MEMORY_HH
+#define JRPM_MEMORY_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace jrpm
+{
+
+/** Byte-addressable simulated DRAM. */
+class MainMemory
+{
+  public:
+    /** @param bytes size of the simulated physical memory */
+    explicit MainMemory(std::uint32_t bytes);
+
+    std::uint32_t size() const { return static_cast<std::uint32_t>(
+        data.size()); }
+
+    /** True if [addr, addr+len) lies inside the simulated memory. */
+    bool
+    valid(Addr addr, std::uint32_t len = 1) const
+    {
+        return addr <= data.size() && len <= data.size() - addr;
+    }
+
+    /** Read an aligned 32-bit word. */
+    Word readWord(Addr addr) const;
+    /** Write an aligned 32-bit word. */
+    void writeWord(Addr addr, Word value);
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    std::uint16_t readHalf(Addr addr) const;
+    void writeHalf(Addr addr, std::uint16_t value);
+
+    /** Zero-fill a region (heap initialization). */
+    void clear(Addr addr, std::uint32_t len);
+
+  private:
+    std::vector<std::uint8_t> data;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_MEMORY_MAIN_MEMORY_HH

@@ -1,0 +1,179 @@
+#include "spec_state.hh"
+
+#include "common/logging.hh"
+#include "memory/main_memory.hh"
+
+namespace jrpm
+{
+
+StoreBuffer::StoreBuffer(const SpecBufferConfig &cfg)
+    : config(cfg)
+{
+}
+
+bool
+StoreBuffer::wouldOverflow(Addr addr) const
+{
+    if (lines.size() < config.storeBufferLines)
+        return false;
+    return lines.find(lineBase(addr)) == lines.end();
+}
+
+void
+StoreBuffer::write(Addr addr, Word value, std::uint32_t len)
+{
+    Line &line = lines[lineBase(addr)];
+    const std::uint32_t off = addr & (config.lineBytes - 1);
+    if (off + len > config.lineBytes)
+        panic("store buffer write crosses a line at 0x%08x", addr);
+    for (std::uint32_t b = 0; b < len; ++b) {
+        line.bytes[off + b] = static_cast<std::uint8_t>(value >> (8 * b));
+        line.mask |= 1u << (off + b);
+    }
+}
+
+Coverage
+StoreBuffer::coverage(Addr addr, std::uint32_t len) const
+{
+    auto it = lines.find(lineBase(addr));
+    if (it == lines.end())
+        return Coverage::None;
+    const std::uint32_t off = addr & (config.lineBytes - 1);
+    std::uint32_t covered = 0;
+    for (std::uint32_t b = 0; b < len; ++b)
+        if (it->second.mask & (1u << (off + b)))
+            ++covered;
+    if (covered == 0)
+        return Coverage::None;
+    return covered == len ? Coverage::Full : Coverage::Partial;
+}
+
+Word
+StoreBuffer::readMerge(Addr addr, std::uint32_t len,
+                       Word underlying) const
+{
+    auto it = lines.find(lineBase(addr));
+    if (it == lines.end())
+        return underlying;
+    const std::uint32_t off = addr & (config.lineBytes - 1);
+    Word out = 0;
+    for (std::uint32_t b = 0; b < len; ++b) {
+        std::uint8_t byte;
+        if (it->second.mask & (1u << (off + b)))
+            byte = it->second.bytes[off + b];
+        else
+            byte = static_cast<std::uint8_t>(underlying >> (8 * b));
+        out |= static_cast<Word>(byte) << (8 * b);
+    }
+    return out;
+}
+
+void
+StoreBuffer::drainTo(MainMemory &mem)
+{
+    for (const auto &[base, line] : lines) {
+        for (std::uint32_t b = 0; b < config.lineBytes; ++b) {
+            if (line.mask & (1u << b)) {
+                if (mem.valid(base + b))
+                    mem.writeByte(base + b, line.bytes[b]);
+                // A speculative wild store past memory is dropped; a
+                // committing (head) thread never produces one because
+                // the CPU faults first.
+            }
+        }
+    }
+    lines.clear();
+}
+
+void
+StoreBuffer::clear()
+{
+    lines.clear();
+}
+
+std::vector<Addr>
+StoreBuffer::bufferedLines() const
+{
+    std::vector<Addr> out;
+    out.reserve(lines.size());
+    for (const auto &[base, line] : lines)
+        out.push_back(base);
+    return out;
+}
+
+SpecTags::SpecTags(const SpecBufferConfig &cfg)
+    : config(cfg),
+      numSets(cfg.loadBufferLines / cfg.loadBufferAssoc),
+      readLinesPerSet(numSets, 0)
+{
+    if ((numSets & (numSets - 1)) != 0)
+        panic("load buffer set count %u not a power of two", numSets);
+}
+
+bool
+SpecTags::recordLoad(Addr addr, bool locally_written)
+{
+    const Addr word = wordBase(addr);
+    std::uint8_t &flags = wordFlags[word];
+    if (!locally_written && !(flags & kWritten))
+        flags |= kRead;
+
+    const Addr line = lineBase(addr);
+    if (readLines.insert(line).second) {
+        std::uint32_t &count = readLinesPerSet[setOf(addr)];
+        if (count >= config.loadBufferAssoc ||
+            totalReadLines >= config.loadBufferLines) {
+            // Can't pin the line: speculative state overflow.
+            readLines.erase(line);
+            return false;
+        }
+        ++count;
+        ++totalReadLines;
+    }
+    return true;
+}
+
+void
+SpecTags::forceRecordLoad(Addr addr, bool locally_written)
+{
+    const Addr word = wordBase(addr);
+    std::uint8_t &flags = wordFlags[word];
+    if (!locally_written && !(flags & kWritten))
+        flags |= kRead;
+    const Addr line = lineBase(addr);
+    if (readLines.insert(line).second) {
+        ++readLinesPerSet[setOf(addr)];
+        ++totalReadLines;
+    }
+}
+
+void
+SpecTags::recordStore(Addr addr)
+{
+    wordFlags[wordBase(addr)] |= kWritten;
+}
+
+bool
+SpecTags::readBeforeWrite(Addr addr) const
+{
+    auto it = wordFlags.find(wordBase(addr));
+    return it != wordFlags.end() && (it->second & kRead);
+}
+
+bool
+SpecTags::writtenLocally(Addr addr) const
+{
+    auto it = wordFlags.find(wordBase(addr));
+    return it != wordFlags.end() && (it->second & kWritten);
+}
+
+void
+SpecTags::clear()
+{
+    wordFlags.clear();
+    readLines.clear();
+    std::fill(readLinesPerSet.begin(), readLinesPerSet.end(), 0);
+    totalReadLines = 0;
+}
+
+} // namespace jrpm

@@ -1,0 +1,1182 @@
+#include "machine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+namespace
+{
+
+/** Sign-extend the low @p bits of @p v. */
+Word
+sext(Word v, unsigned bits)
+{
+    const Word m = 1u << (bits - 1);
+    v &= (1u << bits) - 1;
+    return (v ^ m) - m;
+}
+
+} // namespace
+
+Machine::Machine(const SystemConfig &config)
+    : cfg(config),
+      mem(config.memBytes),
+      l2(config.l2Bytes, config.specBuffers.lineBytes, config.l2Assoc)
+{
+    cores.reserve(cfg.numCpus);
+    for (std::uint32_t i = 0; i < cfg.numCpus; ++i)
+        cores.emplace_back(i, cfg);
+}
+
+void
+Machine::start(std::uint32_t method_id, const std::vector<Word> &args,
+               Addr stack_top)
+{
+    if (args.size() > 4)
+        fatal("start() supports at most 4 register arguments");
+    for (auto &c : cores) {
+        c.mode = CpuMode::Parked;
+        c.regs.fill(0);
+        c.stall = StallKind::None;
+        c.stallCycles = 0;
+        c.clearSpecState();
+        c.tentativeRun = c.tentativeWait = 0;
+        c.iteration = 0;
+    }
+    Core &c0 = cores[0];
+    c0.mode = CpuMode::Sequential;
+    c0.pc = {method_id, 0};
+    c0.regs[R_SP] = stack_top;
+    c0.regs[R_FP] = stack_top;
+    c0.regs[R_RA] = kReturnSentinel;
+    for (std::size_t i = 0; i < args.size(); ++i)
+        c0.regs[R_A0 + i] = args[i];
+    seqCpu = 0;
+    specActive = false;
+    contextStack.clear();
+    uncaughtExc = false;
+}
+
+bool
+Machine::halted() const
+{
+    return cores[seqCpu].mode == CpuMode::Halted;
+}
+
+bool
+Machine::run(std::uint64_t max_cycles)
+{
+    while (!halted() && max_cycles--)
+        step();
+    return halted();
+}
+
+void
+Machine::step()
+{
+    ++cycle;
+    for (auto &c : cores)
+        stepCpu(c);
+}
+
+HandlerCosts
+Machine::activeCosts() const
+{
+    return hoistedHandlers ? HandlerCosts::hoisted() : cfg.handlers;
+}
+
+bool
+Machine::isHead(std::uint32_t cpu) const
+{
+    const Core &c = cores[cpu];
+    return specActive && c.mode == CpuMode::Speculative &&
+           c.iteration == headIteration;
+}
+
+bool
+Machine::speculating(std::uint32_t cpu) const
+{
+    return specActive && cores[cpu].mode == CpuMode::Speculative &&
+           !isHead(cpu);
+}
+
+Word
+Machine::reg(std::uint32_t cpu, std::uint8_t r) const
+{
+    return cores[cpu].regs[r];
+}
+
+void
+Machine::setReg(std::uint32_t cpu, std::uint8_t r, Word v)
+{
+    if (r != R_ZERO)
+        cores[cpu].regs[r] = v;
+}
+
+// ---------------------------------------------------------------------
+// Per-cycle stepping and Fig. 10 accounting
+// ---------------------------------------------------------------------
+
+void
+Machine::stepCpu(Core &c)
+{
+    const double share = specActive ? 1.0 / cfg.numCpus : 1.0;
+
+    if (c.mode == CpuMode::Halted)
+        return;
+
+    if (c.mode == CpuMode::Parked) {
+        if (specActive)
+            execStats.waitUsed += share;
+        return;
+    }
+
+    if (!specActive && c.id != seqCpu)
+        return; // a leftover non-seq CPU (should be parked)
+
+    // A pending squash preempts whatever the CPU was doing.
+    if (c.squashed) {
+        squashToRestart(c);
+        execStats.overhead += share;
+        return;
+    }
+
+    if (c.stall != StallKind::None) {
+        bool resolved = false;
+        switch (c.stall) {
+          case StallKind::Memory:
+          case StallKind::Trap:
+            if (--c.stallCycles == 0)
+                c.stall = StallKind::None;
+            if (specActive)
+                c.tentativeRun += share;
+            else
+                execStats.serial += share;
+            return;
+          case StallKind::Handler:
+            // Handler costs are TLS overhead even when charged at the
+            // shutdown boundary where speculation is already off.
+            if (--c.stallCycles == 0)
+                c.stall = StallKind::None;
+            execStats.overhead += share;
+            return;
+          case StallKind::WaitHead:
+            resolved = isHead(c.id) || !specActive;
+            if (resolved)
+                c.stall = StallKind::None;
+            break;
+          case StallKind::Overflow:
+            if (isHead(c.id) || !specActive) {
+                // Head may write through: drain early, go direct.
+                c.buffer.drainTo(mem);
+                c.directMode = true;
+                c.stall = StallKind::None;
+                resolved = true;
+            }
+            break;
+          case StallKind::Exception:
+            if (isHead(c.id) || !specActive) {
+                c.stall = StallKind::None;
+                dispatchException(c);
+                resolved = true;
+            }
+            break;
+          case StallKind::None:
+            break;
+        }
+        if (specActive)
+            c.tentativeWait += share;
+        else
+            execStats.serial += share;
+        if (!resolved)
+            return;
+        return; // resolution consumed this cycle; execute next cycle
+    }
+
+    execute(c);
+    if (specActive)
+        c.tentativeRun += share;
+    else
+        execStats.serial += share;
+}
+
+void
+Machine::retireTentative(Core &c, bool used)
+{
+    if (used) {
+        execStats.runUsed += c.tentativeRun;
+        execStats.waitUsed += c.tentativeWait;
+    } else {
+        execStats.runViolated += c.tentativeRun;
+        execStats.waitViolated += c.tentativeWait;
+    }
+    c.tentativeRun = 0;
+    c.tentativeWait = 0;
+}
+
+void
+Machine::chargeHandler(Core &c, std::uint32_t cycles)
+{
+    if (cycles == 0)
+        return;
+    c.stall = StallKind::Handler;
+    c.stallCycles = cycles;
+}
+
+// ---------------------------------------------------------------------
+// Instruction execution
+// ---------------------------------------------------------------------
+
+void
+Machine::execute(Core &c)
+{
+    const NativeCode &m = code.method(c.pc.method);
+    if (c.pc.index < 0 ||
+        c.pc.index >= static_cast<std::int32_t>(m.insts.size())) {
+        // A wild pc can only come from speculative garbage (e.g. a
+        // half-merged return address); defer like any speculative
+        // fault.  Sequentially it is a compiler/simulator bug.
+        if (specActive && c.mode == CpuMode::Speculative &&
+            !isHead(c.id)) {
+            c.exceptionPc = c.pc;
+            c.pc.index = 0;
+            raiseException(c.id, ExcKind::Null, 0);
+            return;
+        }
+        panic("cpu%u pc out of range: %s:%d", c.id, m.name.c_str(),
+              c.pc.index);
+    }
+    const Inst inst = m.insts[c.pc.index];
+    const Pc instPc = c.pc;
+    ++c.pc.index;
+    ++nInsts;
+
+    auto &r = c.regs;
+    auto wr = [&](std::uint8_t rd, Word v) {
+        if (rd != R_ZERO)
+            r[rd] = v;
+    };
+    auto f = [&](std::uint8_t reg) { return wordToFloat(r[reg]); };
+
+    switch (inst.op) {
+      case Op::ADDU: wr(inst.rd, r[inst.rs] + r[inst.rt]); break;
+      case Op::SUBU: wr(inst.rd, r[inst.rs] - r[inst.rt]); break;
+      case Op::MUL:
+        wr(inst.rd, static_cast<Word>(
+            static_cast<SWord>(r[inst.rs]) *
+            static_cast<SWord>(r[inst.rt])));
+        break;
+      case Op::DIV:
+      case Op::REM: {
+        if (r[inst.rt] == 0) {
+            c.exceptionPc = instPc;
+            raiseException(c.id, ExcKind::Arithmetic, 0);
+            return;
+        }
+        SWord a = static_cast<SWord>(r[inst.rs]);
+        SWord b = static_cast<SWord>(r[inst.rt]);
+        if (a == INT32_MIN && b == -1) {
+            wr(inst.rd, inst.op == Op::DIV ? r[inst.rs] : 0);
+        } else {
+            wr(inst.rd, static_cast<Word>(
+                inst.op == Op::DIV ? a / b : a % b));
+        }
+        break;
+      }
+      case Op::DIVU:
+      case Op::REMU:
+        if (r[inst.rt] == 0) {
+            c.exceptionPc = instPc;
+            raiseException(c.id, ExcKind::Arithmetic, 0);
+            return;
+        }
+        wr(inst.rd, inst.op == Op::DIVU ? r[inst.rs] / r[inst.rt]
+                                        : r[inst.rs] % r[inst.rt]);
+        break;
+      case Op::AND: wr(inst.rd, r[inst.rs] & r[inst.rt]); break;
+      case Op::OR: wr(inst.rd, r[inst.rs] | r[inst.rt]); break;
+      case Op::XOR: wr(inst.rd, r[inst.rs] ^ r[inst.rt]); break;
+      case Op::NOR: wr(inst.rd, ~(r[inst.rs] | r[inst.rt])); break;
+      case Op::SLLV: wr(inst.rd, r[inst.rs] << (r[inst.rt] & 31)); break;
+      case Op::SRLV: wr(inst.rd, r[inst.rs] >> (r[inst.rt] & 31)); break;
+      case Op::SRAV:
+        wr(inst.rd, static_cast<Word>(
+            static_cast<SWord>(r[inst.rs]) >> (r[inst.rt] & 31)));
+        break;
+      case Op::SLT:
+        wr(inst.rd, static_cast<SWord>(r[inst.rs]) <
+                    static_cast<SWord>(r[inst.rt]));
+        break;
+      case Op::SLTU: wr(inst.rd, r[inst.rs] < r[inst.rt]); break;
+      case Op::ADDIU:
+        wr(inst.rd, r[inst.rs] + static_cast<Word>(inst.imm));
+        break;
+      case Op::ANDI:
+        wr(inst.rd, r[inst.rs] & (static_cast<Word>(inst.imm) & 0xffff));
+        break;
+      case Op::ORI:
+        wr(inst.rd, r[inst.rs] | (static_cast<Word>(inst.imm) & 0xffff));
+        break;
+      case Op::XORI:
+        wr(inst.rd, r[inst.rs] ^ (static_cast<Word>(inst.imm) & 0xffff));
+        break;
+      case Op::SLTI:
+        wr(inst.rd, static_cast<SWord>(r[inst.rs]) < inst.imm);
+        break;
+      case Op::SLTIU:
+        wr(inst.rd, r[inst.rs] < static_cast<Word>(inst.imm));
+        break;
+      case Op::LUI:
+        wr(inst.rd, static_cast<Word>(inst.imm) << 16);
+        break;
+      case Op::SLL: wr(inst.rd, r[inst.rs] << (inst.imm & 31)); break;
+      case Op::SRL: wr(inst.rd, r[inst.rs] >> (inst.imm & 31)); break;
+      case Op::SRA:
+        wr(inst.rd, static_cast<Word>(
+            static_cast<SWord>(r[inst.rs]) >> (inst.imm & 31)));
+        break;
+      case Op::FADD:
+        wr(inst.rd, floatToWord(f(inst.rs) + f(inst.rt)));
+        break;
+      case Op::FSUB:
+        wr(inst.rd, floatToWord(f(inst.rs) - f(inst.rt)));
+        break;
+      case Op::FMUL:
+        wr(inst.rd, floatToWord(f(inst.rs) * f(inst.rt)));
+        break;
+      case Op::FDIV:
+        wr(inst.rd, floatToWord(f(inst.rs) / f(inst.rt)));
+        break;
+      case Op::FNEG: wr(inst.rd, floatToWord(-f(inst.rs))); break;
+      case Op::FCLT: wr(inst.rd, f(inst.rs) < f(inst.rt)); break;
+      case Op::FCLE: wr(inst.rd, f(inst.rs) <= f(inst.rt)); break;
+      case Op::FCEQ: wr(inst.rd, f(inst.rs) == f(inst.rt)); break;
+      case Op::CVTSW:
+        wr(inst.rd, floatToWord(
+            static_cast<float>(static_cast<SWord>(r[inst.rs]))));
+        break;
+      case Op::CVTWS:
+        wr(inst.rd, static_cast<Word>(
+            static_cast<SWord>(f(inst.rs))));
+        break;
+      case Op::LW: case Op::LB: case Op::LBU: case Op::LH:
+      case Op::LHU: case Op::LWNV: case Op::SW: case Op::SB:
+      case Op::SH:
+        execMemOp(c, inst);
+        break;
+      case Op::BEQ:
+        if (r[inst.rs] == r[inst.rt])
+            c.pc.index = inst.target;
+        break;
+      case Op::BNE:
+        if (r[inst.rs] != r[inst.rt])
+            c.pc.index = inst.target;
+        break;
+      case Op::BLEZ:
+        if (static_cast<SWord>(r[inst.rs]) <= 0)
+            c.pc.index = inst.target;
+        break;
+      case Op::BGTZ:
+        if (static_cast<SWord>(r[inst.rs]) > 0)
+            c.pc.index = inst.target;
+        break;
+      case Op::BLTZ:
+        if (static_cast<SWord>(r[inst.rs]) < 0)
+            c.pc.index = inst.target;
+        break;
+      case Op::BGEZ:
+        if (static_cast<SWord>(r[inst.rs]) >= 0)
+            c.pc.index = inst.target;
+        break;
+      case Op::BGE:
+        if (static_cast<SWord>(r[inst.rs]) >=
+            static_cast<SWord>(r[inst.rt]))
+            c.pc.index = inst.target;
+        break;
+      case Op::BLT:
+        if (static_cast<SWord>(r[inst.rs]) <
+            static_cast<SWord>(r[inst.rt]))
+            c.pc.index = inst.target;
+        break;
+      case Op::J:
+        c.pc.index = inst.target;
+        break;
+      case Op::JAL:
+        wr(R_RA, encodePc(c.pc));
+        c.pc = {static_cast<std::uint32_t>(inst.imm), 0};
+        break;
+      case Op::JR: {
+        Word ra = r[inst.rs];
+        if (ra == kReturnSentinel) {
+            if (specActive && c.mode == CpuMode::Speculative)
+                panic("cpu%u returned past the root inside an STL",
+                      c.id);
+            exitVal = r[R_V0];
+            c.mode = CpuMode::Halted;
+        } else {
+            c.pc = decodePc(ra);
+        }
+        break;
+      }
+      case Op::MFC2:
+        switch (static_cast<Cp2Reg>(inst.imm)) {
+          case Cp2Reg::Iteration:
+            wr(inst.rd, static_cast<Word>(c.iteration));
+            break;
+          case Cp2Reg::CpuId:
+            wr(inst.rd, c.id);
+            break;
+          case Cp2Reg::NumCpus:
+            wr(inst.rd, cfg.numCpus);
+            break;
+          default:
+            wr(inst.rd, globalCp2[inst.imm & 15]);
+            break;
+        }
+        break;
+      case Op::MTC2:
+        globalCp2[inst.imm & 15] = r[inst.rs];
+        break;
+      case Op::SCOP:
+        execScop(c, inst);
+        break;
+      case Op::SMEM:
+        execSmem(c, inst);
+        break;
+      case Op::SLOOP:
+        if (profiler && !specActive && c.id == seqCpu)
+            profiler->onLoopEntry(inst.imm, cycle);
+        break;
+      case Op::EOI:
+        if (profiler && !specActive && c.id == seqCpu)
+            profiler->onLoopIteration(inst.imm, cycle);
+        break;
+      case Op::ENDLOOP:
+        if (profiler && !specActive && c.id == seqCpu)
+            profiler->onLoopExit(inst.imm, cycle);
+        break;
+      case Op::LWLANN:
+        if (profiler && !specActive && c.id == seqCpu)
+            profiler->onLocalLoad(inst.imm, cycle);
+        break;
+      case Op::SWLANN:
+        if (profiler && !specActive && c.id == seqCpu)
+            profiler->onLocalStore(inst.imm, cycle);
+        break;
+      case Op::TRAP:
+        execTrap(c, inst);
+        break;
+      case Op::NOP:
+        break;
+      case Op::HALT:
+        exitVal = r[R_V0];
+        c.mode = CpuMode::Halted;
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory operations with TLS semantics
+// ---------------------------------------------------------------------
+
+std::uint32_t
+Machine::cacheLatency(Core &c, Addr addr, bool is_store)
+{
+    if (!cfg.cacheTiming)
+        return 0;
+    if (is_store) {
+        // Write-through, no-allocate: stores never stall the pipeline
+        // (the write buffer hides them) but keep the tag state warm
+        // and invalidate other L1 copies.
+        if (c.l1.probe(addr))
+            c.l1.access(addr);
+        l2.access(addr);
+        for (auto &d : cores)
+            if (d.id != c.id)
+                d.l1.invalidate(addr);
+        return 0;
+    }
+    if (c.l1.access(addr))
+        return 0;
+    if (l2.access(addr))
+        return cfg.l2Latency;
+    return cfg.memLatency;
+}
+
+std::uint32_t
+Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
+                bool non_violating, Word &out, bool &faulted,
+                std::uint32_t site, bool trap_context)
+{
+    faulted = false;
+    const bool spec = specActive && c.mode == CpuMode::Speculative;
+
+    if (addr % len != 0 || !mem.valid(addr, len)) {
+        faulted = true;
+        return 0;
+    }
+
+    Word raw;
+    std::uint32_t latency = 0;
+
+    if (!spec || c.directMode) {
+        raw = len == 4 ? mem.readWord(addr)
+            : len == 2 ? mem.readHalf(addr)
+                       : mem.readByte(addr);
+        latency = cacheLatency(c, addr, false);
+    } else {
+        // Gather the newest value visible to this thread: memory,
+        // overlaid by less-speculative store buffers oldest-first,
+        // overlaid by our own buffer.
+        Word underlying = 0;
+        if (len == 4)
+            underlying = mem.readWord(addr);
+        else if (len == 2)
+            underlying = mem.readHalf(addr);
+        else
+            underlying = mem.readByte(addr);
+
+        bool forwarded = false;
+        // Collect active earlier threads in iteration order.
+        std::vector<const Core *> earlier;
+        for (const auto &d : cores)
+            if (d.id != c.id && d.mode == CpuMode::Speculative &&
+                d.iteration < c.iteration)
+                earlier.push_back(&d);
+        std::sort(earlier.begin(), earlier.end(),
+                  [](const Core *a, const Core *b) {
+                      return a->iteration < b->iteration;
+                  });
+        for (const Core *d : earlier) {
+            if (d->buffer.coverage(addr, len) != Coverage::None) {
+                underlying = d->buffer.readMerge(addr, len, underlying);
+                forwarded = true;
+            }
+        }
+        raw = c.buffer.readMerge(addr, len, underlying);
+
+        if (!non_violating) {
+            const bool local = c.tags.writtenLocally(addr);
+            if (!local && !c.tags.recordLoad(addr, false)) {
+                if (trap_context) {
+                    // Trap microcode cannot stall mid-operation:
+                    // track the read anyway and pay the stall at the
+                    // next instruction boundary.
+                    c.tags.forceRecordLoad(addr, false);
+                    c.pendingOverflowStall = true;
+                } else {
+                    // Load-buffer overflow: stall until head, retry.
+                    c.stall = StallKind::Overflow;
+                    ++execStats.bufferOverflowStalls;
+                    faulted = false;
+                    return kTrapRetry; // sentinel: caller rewinds pc
+                }
+            }
+            if (local)
+                c.tags.recordLoad(addr, true);
+        }
+        latency = forwarded ? cfg.forwardLatency
+                            : cacheLatency(c, addr, false);
+    }
+
+    if (len == 4)
+        out = raw;
+    else if (len == 2)
+        out = sign_extend ? sext(raw, 16) : (raw & 0xffff);
+    else
+        out = sign_extend ? sext(raw, 8) : (raw & 0xff);
+
+    if (profiler && !specActive && c.id == seqCpu)
+        profiler->onHeapLoad(addr, cycle, site);
+    return latency;
+}
+
+std::uint32_t
+Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
+                 bool &faulted, bool &stalled, bool trap_context)
+{
+    faulted = false;
+    stalled = false;
+    const bool spec = specActive && c.mode == CpuMode::Speculative;
+
+    if (addr % len != 0 || !mem.valid(addr, len)) {
+        faulted = true;
+        return 0;
+    }
+
+    if (!spec) {
+        if (len == 4)
+            mem.writeWord(addr, value);
+        else if (len == 2)
+            mem.writeHalf(addr, static_cast<std::uint16_t>(value));
+        else
+            mem.writeByte(addr, static_cast<std::uint8_t>(value));
+        std::uint32_t lat = cacheLatency(c, addr, true);
+        if (profiler && c.id == seqCpu)
+            profiler->onHeapStore(addr, cycle);
+        return lat;
+    }
+
+    if (c.directMode) {
+        if (len == 4)
+            mem.writeWord(addr, value);
+        else if (len == 2)
+            mem.writeHalf(addr, static_cast<std::uint16_t>(value));
+        else
+            mem.writeByte(addr, static_cast<std::uint8_t>(value));
+        cacheLatency(c, addr, true);
+    } else {
+        if (c.buffer.wouldOverflow(addr)) {
+            if (trap_context) {
+                // Keep buffering past the hardware capacity; the CPU
+                // stalls until head after the trap completes, then
+                // drains and writes through.
+                c.pendingOverflowStall = true;
+            } else {
+                c.stall = StallKind::Overflow;
+                ++execStats.bufferOverflowStalls;
+                stalled = true;
+                return 0;
+            }
+        }
+        c.buffer.write(addr, value, len);
+        c.tags.recordStore(addr);
+        cacheLatency(c, addr, true);
+    }
+
+    // Violation broadcast: any more-speculative thread that consumed
+    // this word too early must restart (write-bus snoop in Hydra).
+    Core *victim = nullptr;
+    for (auto &d : cores) {
+        if (d.id == c.id || d.mode != CpuMode::Speculative ||
+            d.iteration <= c.iteration)
+            continue;
+        bool hit = false;
+        for (Addr w = addr & ~3u; w < addr + len; w += 4)
+            if (d.tags.readBeforeWrite(w))
+                hit = true;
+        if (hit && (!victim || d.iteration < victim->iteration))
+            victim = &d;
+    }
+    if (victim) {
+        ++execStats.violationAddrs[addr];
+        violate(*victim);
+    }
+    return 0;
+}
+
+void
+Machine::execMemOp(Core &c, const Inst &inst)
+{
+    const Addr addr = c.regs[inst.rs] + static_cast<Word>(inst.imm);
+    const Pc instPc = {c.pc.method, c.pc.index - 1};
+    ++nMemOps;
+
+    if (isStore(inst.op)) {
+        const std::uint32_t len =
+            inst.op == Op::SW ? 4 : inst.op == Op::SH ? 2 : 1;
+        bool faulted = false, stalled = false;
+        std::uint32_t lat =
+            doStore(c, addr, len, c.regs[inst.rt], faulted, stalled);
+        if (stalled) {
+            c.pc = instPc; // retry after the overflow drains
+            return;
+        }
+        if (faulted) {
+            c.exceptionPc = instPc;
+            raiseException(c.id, ExcKind::Null, 0);
+            return;
+        }
+        if (lat) {
+            c.stall = StallKind::Memory;
+            c.stallCycles = lat;
+        }
+        return;
+    }
+
+    const std::uint32_t len =
+        (inst.op == Op::LW || inst.op == Op::LWNV) ? 4
+        : (inst.op == Op::LH || inst.op == Op::LHU) ? 2 : 1;
+    const bool sign = inst.op == Op::LB || inst.op == Op::LH;
+    Word value = 0;
+    bool faulted = false;
+    std::uint32_t lat = doLoad(c, addr, len, sign,
+                               inst.op == Op::LWNV, value, faulted,
+                               encodePc(instPc));
+    if (lat == kTrapRetry) {
+        c.pc = instPc; // overflow stall; retry when head
+        return;
+    }
+    if (faulted) {
+        c.exceptionPc = instPc;
+        raiseException(c.id, ExcKind::Null, 0);
+        return;
+    }
+    if (inst.rd != R_ZERO)
+        c.regs[inst.rd] = value;
+    if (lat) {
+        c.stall = StallKind::Memory;
+        c.stallCycles = lat;
+    }
+}
+
+std::uint32_t
+Machine::trapLoadWord(std::uint32_t cpu, Addr addr, Word &value)
+{
+    Core &c = cores[cpu];
+    bool faulted = false;
+    std::uint32_t lat = doLoad(c, addr, 4, false, false, value,
+                               faulted, 0, /*trap_context=*/true);
+    if (faulted) {
+        value = 0;
+        return 0;
+    }
+    return lat;
+}
+
+std::uint32_t
+Machine::trapStoreWord(std::uint32_t cpu, Addr addr, Word value)
+{
+    Core &c = cores[cpu];
+    bool faulted = false, stalled = false;
+    return doStore(c, addr, 4, value, faulted, stalled,
+                   /*trap_context=*/true);
+}
+
+// ---------------------------------------------------------------------
+// Speculation control (SCOP / SMEM)
+// ---------------------------------------------------------------------
+
+void
+Machine::beginStl(Core &master, std::int32_t loop_id, Pc restart_pc)
+{
+    specActive = true;
+    stlLoopId = loop_id;
+    stlRestartPc = restart_pc;
+    headIteration = 0;
+    nextToAssign = 1;
+    stlMaster = master.id;
+    stlEntryCycle = cycle;
+    master.mode = CpuMode::Speculative;
+    master.iteration = 0;
+    master.threadStart = cycle;
+    master.clearSpecState();
+    ++execStats.stlEntries;
+    auto &ls = stlRuntime[loop_id];
+    ++ls.entries;
+}
+
+void
+Machine::wakeSlaves(Core &master, Pc entry)
+{
+    for (auto &d : cores) {
+        if (d.id == master.id || d.mode == CpuMode::Halted)
+            continue;
+        if (d.mode != CpuMode::Parked)
+            panic("wake_slaves: cpu%u not parked", d.id);
+        d.mode = CpuMode::Speculative;
+        d.pc = entry;
+        d.regs.fill(0);
+        d.regs[R_GP] = globalCp2[static_cast<int>(Cp2Reg::SavedGp)];
+        d.stall = StallKind::None;
+        d.clearSpecState();
+        d.iteration = nextToAssign++;
+        d.threadStart = cycle;
+        d.tentativeRun = d.tentativeWait = 0;
+    }
+}
+
+void
+Machine::parkOthers(std::uint32_t keep_cpu)
+{
+    for (auto &d : cores) {
+        if (d.id == keep_cpu || d.mode == CpuMode::Halted)
+            continue;
+        if (d.mode == CpuMode::Speculative)
+            retireTentative(d, false);
+        d.mode = CpuMode::Parked;
+        d.stall = StallKind::None;
+        d.squashed = false;
+        d.clearSpecState();
+    }
+}
+
+void
+Machine::execScop(Core &c, const Inst &inst)
+{
+    const HandlerCosts costs = activeCosts();
+    switch (static_cast<ScopCmd>(inst.imm)) {
+      case ScopCmd::EnableSpec:
+        if (specActive)
+            panic("enable_spec while speculation already active");
+        hoistedHandlers = (inst.rs & 1) != 0;
+        beginStl(c, inst.aux, {c.pc.method, inst.target});
+        chargeHandler(c, costs.startup);
+        break;
+      case ScopCmd::DisableSpec: {
+        if (!specActive || !isHead(c.id))
+            panic("disable_spec by non-head cpu%u", c.id);
+        auto &ls = stlRuntime[stlLoopId];
+        ls.cyclesInside += cycle - stlEntryCycle;
+        specActive = false;
+        c.mode = CpuMode::Sequential;
+        seqCpu = c.id;
+        retireTentative(c, true);
+        chargeHandler(c, costs.shutdown);
+        break;
+      }
+      case ScopCmd::WakeSlaves:
+        wakeSlaves(c, {c.pc.method, inst.target});
+        break;
+      case ScopCmd::KillSlaves:
+        parkOthers(c.id);
+        break;
+      case ScopCmd::ResetCache:
+        c.tags.clear();
+        break;
+      case ScopCmd::AdvanceCache:
+        // New thread epoch for this CPU.
+        c.tags.clear();
+        c.iteration = nextToAssign++;
+        c.threadStart = cycle;
+        c.overflowed = false;
+        c.directMode = false;
+        break;
+      case ScopCmd::WaitHead:
+        if (specActive && !isHead(c.id))
+            c.stall = StallKind::WaitHead;
+        break;
+      case ScopCmd::SwitchBegin: {
+        if (!specActive || !isHead(c.id))
+            panic("switch_begin by non-head cpu%u", c.id);
+        // Commit the head's progress mid-iteration, park the peers
+        // (their outer iterations restart after the inner STL), and
+        // save the outer decomposition.  Until switch_enable resets
+        // the speculative state, this CPU's stores write through (it
+        // is the head; its work is architectural).
+        c.buffer.drainTo(mem);
+        c.tags.clear();
+        c.directMode = true;
+        retireTentative(c, true);
+        StlContext ctx;
+        ctx.loopId = stlLoopId;
+        ctx.restartPc = stlRestartPc;
+        ctx.headIteration = headIteration;
+        ctx.nextToAssign = nextToAssign;
+        ctx.master = stlMaster;
+        ctx.switchCpu = c.id;
+        ctx.entryCycle = stlEntryCycle;
+        for (const auto &d : cores)
+            ctx.savedIterations.push_back(d.iteration);
+        parkOthers(c.id);
+        contextStack.push_back(std::move(ctx));
+        break;
+      }
+      case ScopCmd::SwitchEnable: {
+        if (contextStack.empty())
+            panic("switch_enable without switch_begin");
+        stlLoopId = inst.aux;
+        stlRestartPc = {c.pc.method, inst.target};
+        headIteration = 0;
+        nextToAssign = 1;
+        stlMaster = c.id;
+        stlEntryCycle = cycle;
+        c.iteration = 0;
+        c.threadStart = cycle;
+        c.clearSpecState();
+        ++stlRuntime[stlLoopId].entries;
+        chargeHandler(c, HandlerCosts::hoisted().startup);
+        break;
+      }
+      case ScopCmd::SwitchShutdown: {
+        if (contextStack.empty())
+            panic("switch_shutdown without switch_begin");
+        if (!isHead(c.id))
+            panic("switch_shutdown by non-head cpu%u", c.id);
+        stlRuntime[stlLoopId].cyclesInside += cycle - stlEntryCycle;
+        retireTentative(c, true);
+        parkOthers(c.id);
+        StlContext ctx = std::move(contextStack.back());
+        contextStack.pop_back();
+        stlLoopId = ctx.loopId;
+        stlRestartPc = ctx.restartPc;
+        headIteration = ctx.headIteration;
+        nextToAssign = ctx.nextToAssign;
+        stlMaster = ctx.master;
+        stlEntryCycle = ctx.entryCycle;
+        // This CPU adopts the outer iteration of the CPU that
+        // performed the switch; everyone else restarts theirs.
+        for (auto &d : cores) {
+            if (d.mode == CpuMode::Halted)
+                continue;
+            std::uint32_t src = d.id;
+            if (d.id == c.id)
+                src = ctx.switchCpu;
+            else if (d.id == ctx.switchCpu)
+                src = c.id;
+            d.iteration = ctx.savedIterations[src];
+            if (d.id == c.id)
+                continue;
+            d.mode = CpuMode::Speculative;
+            d.pc = stlRestartPc;
+            d.threadStart = cycle;
+            d.stall = StallKind::None;
+            d.clearSpecState();
+            d.tentativeRun = d.tentativeWait = 0;
+        }
+        c.threadStart = cycle;
+        c.clearSpecState();
+        chargeHandler(c, HandlerCosts::hoisted().shutdown);
+        break;
+      }
+    }
+}
+
+void
+Machine::commitThread(Core &c)
+{
+    auto &ls = stlRuntime[stlLoopId];
+    ++ls.commits;
+    ls.threadCycles.sample(static_cast<double>(cycle - c.threadStart));
+    ls.loadLines.sample(static_cast<double>(c.tags.readLineCount()));
+    ls.storeLines.sample(static_cast<double>(c.buffer.lineCount()));
+    ++execStats.commits;
+
+    // Committed lines supersede stale copies in other L1s.
+    if (cfg.cacheTiming)
+        for (Addr line : c.buffer.bufferedLines())
+            for (auto &d : cores)
+                if (d.id != c.id)
+                    d.l1.invalidate(line);
+
+    c.buffer.drainTo(mem);
+    retireTentative(c, true);
+}
+
+void
+Machine::execSmem(Core &c, const Inst &inst)
+{
+    const HandlerCosts costs = activeCosts();
+    switch (static_cast<SmemCmd>(inst.imm)) {
+      case SmemCmd::CommitBuffer:
+        // Shutdown path: final (partial) thread becomes architectural
+        // and subsequent stores (result write-back) go straight to
+        // memory — the CPU is the head and about to leave the STL.
+        c.buffer.drainTo(mem);
+        c.directMode = true;
+        retireTentative(c, true);
+        break;
+      case SmemCmd::CommitBufferAndHead:
+        if (!isHead(c.id))
+            panic("commit_buffer_and_head by non-head cpu%u", c.id);
+        commitThread(c);
+        ++headIteration;
+        chargeHandler(c, costs.eoi);
+        break;
+      case SmemCmd::KillBuffer:
+        c.buffer.clear();
+        chargeHandler(c, costs.restart);
+        break;
+    }
+}
+
+void
+Machine::violate(Core &victim)
+{
+    ++execStats.violations;
+    if (specActive)
+        ++stlRuntime[stlLoopId].violations;
+    const std::uint64_t from = victim.iteration;
+    for (auto &d : cores) {
+        if (d.mode != CpuMode::Speculative || d.iteration < from)
+            continue;
+        if (isHead(d.id))
+            panic("violation would squash the head thread");
+        d.squashed = true;
+    }
+}
+
+void
+Machine::squashToRestart(Core &c)
+{
+    retireTentative(c, false);
+    c.clearSpecState();
+    c.stall = StallKind::None;
+    c.stallCycles = 0;
+    c.threadStart = cycle;
+    c.pc = stlRestartPc;
+}
+
+// ---------------------------------------------------------------------
+// Traps and exceptions
+// ---------------------------------------------------------------------
+
+void
+Machine::execTrap(Core &c, const Inst &inst)
+{
+    const Pc instPc = {c.pc.method, c.pc.index - 1};
+
+    // Throws are handled by the machine itself: $a0 holds the
+    // exception kind, $a1 the value.  A nonzero aux names the real
+    // faulting instruction (shared bounds/null-check throw blocks sit
+    // outside the try ranges they serve).
+    if (static_cast<TrapId>(inst.imm) == TrapId::Throw) {
+        c.exceptionPc = inst.aux ? decodePc(
+            static_cast<Word>(inst.aux)) : instPc;
+        raiseException(c.id,
+                       static_cast<ExcKind>(c.regs[R_A0]),
+                       c.regs[R_A1]);
+        return;
+    }
+
+    if (!runtime)
+        panic("TRAP %d with no runtime installed", inst.imm);
+    c.exceptionPc = instPc;
+    std::uint32_t cost =
+        runtime->trap(*this, c.id, static_cast<TrapId>(inst.imm));
+    if (cost == kTrapRetry) {
+        c.pc = instPc;
+        c.stall = StallKind::WaitHead;
+        return;
+    }
+    if (c.stall != StallKind::None)
+        return; // the trap raised an exception / stalled the CPU
+    if (c.pendingOverflowStall) {
+        // The trap's memory traffic exceeded the speculative buffer
+        // capacity: stall until head, then drain and write through.
+        c.pendingOverflowStall = false;
+        c.stall = StallKind::Overflow;
+        ++execStats.bufferOverflowStalls;
+        return;
+    }
+    if (cost) {
+        c.stall = StallKind::Trap;
+        c.stallCycles = cost;
+    }
+}
+
+void
+Machine::raiseException(std::uint32_t cpu, ExcKind kind, Word value)
+{
+    Core &c = cores[cpu];
+    c.exceptionKind = static_cast<std::int32_t>(kind);
+    c.exceptionValue = value;
+    if (specActive && c.mode == CpuMode::Speculative && !isHead(cpu)) {
+        // Possibly a false exception from speculative data: wait to
+        // become head (or be squashed) before treating it as real
+        // (§5.1).
+        c.exceptionPending = true;
+        c.stall = StallKind::Exception;
+        return;
+    }
+    dispatchException(c);
+}
+
+bool
+Machine::requireNonSpeculative(std::uint32_t cpu)
+{
+    return !speculating(cpu);
+}
+
+void
+Machine::dispatchException(Core &c)
+{
+    c.exceptionPending = false;
+    const ExcKind kind = static_cast<ExcKind>(c.exceptionKind);
+    const Word value = c.exceptionValue;
+
+    if (specActive && c.mode == CpuMode::Speculative) {
+        // The exception is real (we are the head).  If a catch region
+        // of the current method covers the faulting pc *inside* the
+        // STL, handle it locally without disturbing speculation.
+        const NativeCode &m = code.method(c.exceptionPc.method);
+        for (const auto &entry : m.catches) {
+            if (c.exceptionPc.index >= entry.beginPc &&
+                c.exceptionPc.index < entry.endPc &&
+                (entry.kind == -1 ||
+                 entry.kind == static_cast<std::int32_t>(kind))) {
+                c.pc = {c.exceptionPc.method, entry.handlerPc};
+                c.regs[R_V0] = value;
+                return;
+            }
+        }
+        // Not caught within the STL: terminate speculation (the head
+        // thread's work so far is architectural) and unwind
+        // sequentially on this CPU.
+        stlRuntime[stlLoopId].cyclesInside += cycle - stlEntryCycle;
+        c.buffer.drainTo(mem);
+        retireTentative(c, true);
+        specActive = false;
+        contextStack.clear();
+        c.mode = CpuMode::Sequential;
+        seqCpu = c.id;
+        parkOthers(c.id);
+    }
+    unwind(c, kind, value);
+}
+
+void
+Machine::unwind(Core &c, ExcKind kind, Word value)
+{
+    Pc at = c.exceptionPc;
+    bool first = true;
+    while (true) {
+        const NativeCode &m = code.method(at.method);
+        for (const auto &entry : m.catches) {
+            if (at.index >= entry.beginPc && at.index < entry.endPc &&
+                (entry.kind == -1 ||
+                 entry.kind == static_cast<std::int32_t>(kind))) {
+                c.pc = {at.method, entry.handlerPc};
+                c.regs[R_V0] = value;
+                return;
+            }
+        }
+        // A frameless leaf keeps its return address in $ra; only the
+        // innermost frame can be in that state.
+        if (first && m.frameBytes == 0) {
+            first = false;
+            const Word ra = c.regs[R_RA];
+            if (ra == kReturnSentinel) {
+                uncaughtExc = true;
+                exitVal = value;
+                c.mode = CpuMode::Halted;
+                return;
+            }
+            at = decodePc(ra);
+            at.index -= 1;
+            continue;
+        }
+        first = false;
+        // Restore the callee-saved registers this frame spilled so
+        // the eventual handler sees its caller-state intact, then pop
+        // the frame: [fp-4] = saved ra, [fp-8] = saved fp.
+        const Addr fp = c.regs[R_FP];
+        for (const auto &[sreg, off] : m.savedRegs) {
+            const Addr slot = fp + static_cast<Word>(off);
+            if (mem.valid(slot, 4))
+                c.regs[sreg] = mem.readWord(slot);
+        }
+        if (!mem.valid(fp - 8, 8)) {
+            uncaughtExc = true;
+            c.mode = CpuMode::Halted;
+            return;
+        }
+        const Word ra = mem.readWord(fp - 4);
+        const Word oldFp = mem.readWord(fp - 8);
+        if (ra == kReturnSentinel) {
+            uncaughtExc = true;
+            exitVal = value;
+            c.mode = CpuMode::Halted;
+            return;
+        }
+        c.regs[R_SP] = fp;
+        c.regs[R_FP] = oldFp;
+        at = decodePc(ra);
+        at.index -= 1; // the call site instruction
+    }
+}
+
+} // namespace jrpm

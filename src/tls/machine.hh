@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The Hydra CMP with thread-level speculation: four single-issue cores
+ * stepped cycle by cycle, the TLS protocol (forwarding, RAW violation
+ * detection, ordered commit, overflow stalls), the Table 1 handler
+ * cost model, and the Fig. 10 execution-state accounting.
+ *
+ * This is the substrate everything else runs on: the JIT emits native
+ * code into the machine's code space, the VM runtime answers its
+ * traps, and the TEST profiler observes its annotated sequential
+ * execution.
+ */
+
+#ifndef JRPM_TLS_MACHINE_HH
+#define JRPM_TLS_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/code_space.hh"
+#include "cpu/config.hh"
+#include "cpu/core.hh"
+#include "cpu/hooks.hh"
+#include "cpu/stats.hh"
+#include "memory/cache.hh"
+#include "memory/main_memory.hh"
+
+namespace jrpm
+{
+
+/** Exception kinds raised by hardware or the Throw trap. */
+enum class ExcKind : std::int32_t
+{
+    Null = 0,
+    Bounds = 1,
+    Arithmetic = 2,
+    User = 3,
+};
+
+/** Return-address sentinel marking the bottom of the call stack. */
+constexpr Word kReturnSentinel = 0xffffffff;
+
+/**
+ * Returned by RuntimeHooks::trap when the trap cannot execute
+ * speculatively: the machine rewinds the TRAP and stalls the CPU
+ * until it becomes the head thread, then retries.
+ */
+constexpr std::uint32_t kTrapRetry = 0xffffffff;
+
+/** The simulated chip multiprocessor. */
+class Machine
+{
+  public:
+    explicit Machine(const SystemConfig &cfg = {});
+
+    CodeSpace &codeSpace() { return code; }
+    const CodeSpace &codeSpace() const { return code; }
+    MainMemory &memory() { return mem; }
+    const SystemConfig &config() const { return cfg; }
+
+    /** Install the VM runtime that answers TRAP instructions. */
+    void setRuntime(RuntimeHooks *hooks) { runtime = hooks; }
+
+    /**
+     * Install (or remove, with nullptr) the TEST profiler.  While a
+     * profiler is attached, annotation instructions and heap accesses
+     * of the sequential thread are reported to it.
+     */
+    void setProfiler(ProfileHook *hook) { profiler = hook; }
+
+    /**
+     * Begin sequential execution of a method on CPU 0.
+     * @param method_id entry method
+     * @param args      up to 4 arguments placed in $a0..$a3
+     * @param stack_top initial $sp/$fp (grows down)
+     */
+    void start(std::uint32_t method_id, const std::vector<Word> &args,
+               Addr stack_top);
+
+    /**
+     * Run until the program halts or @p max_cycles elapse.
+     * @return true if the program halted.
+     */
+    bool run(std::uint64_t max_cycles = ~0ull);
+
+    /** Advance the machine by one cycle. */
+    void step();
+
+    bool halted() const;
+    Cycle now() const { return cycle; }
+
+    /** Return value left in $v0 of the halting CPU. */
+    Word exitValue() const { return exitVal; }
+    bool uncaughtException() const { return uncaughtExc; }
+
+    const ExecStats &stats() const { return execStats; }
+    ExecStats &stats() { return execStats; }
+    const StlStatsMap &stlStats() const { return stlRuntime; }
+
+    // ---- interface for the VM runtime (trap handlers) -------------
+    Word reg(std::uint32_t cpu, std::uint8_t r) const;
+    void setReg(std::uint32_t cpu, std::uint8_t r, Word v);
+    bool speculating(std::uint32_t cpu) const;
+    bool isHead(std::uint32_t cpu) const;
+
+    /**
+     * Memory access on behalf of a trap handler: flows through the
+     * full TLS path (buffers, forwarding, violation broadcast).
+     * @return latency cycles the trap should charge.
+     */
+    std::uint32_t trapLoadWord(std::uint32_t cpu, Addr addr,
+                               Word &value);
+    std::uint32_t trapStoreWord(std::uint32_t cpu, Addr addr,
+                                Word value);
+
+    /** Raise an exception from a trap handler. */
+    void raiseException(std::uint32_t cpu, ExcKind kind, Word value);
+
+    /**
+     * Force this CPU to stall until it becomes the head thread (used
+     * by traps that cannot execute speculatively, e.g. I/O).
+     * @return true if the CPU is already safe to proceed.
+     */
+    bool requireNonSpeculative(std::uint32_t cpu);
+
+    /** Direct (uncached, untimed) memory write for host-side phases
+     *  such as the garbage collector; bypasses speculation. */
+    void hostWriteWord(Addr addr, Word v) { mem.writeWord(addr, v); }
+    Word hostReadWord(Addr addr) const { return mem.readWord(addr); }
+
+    /** Number of dynamically executed instructions (all CPUs). */
+    std::uint64_t instCount() const { return nInsts; }
+    /** Dynamic data-memory operation count (loads + stores). */
+    std::uint64_t memOpCount() const { return nMemOps; }
+
+    /** Per-CPU view, for tests. */
+    const Core &core(std::uint32_t cpu) const { return cores[cpu]; }
+
+  private:
+    // ---- machine state ---------------------------------------------
+    SystemConfig cfg;
+    CodeSpace code;
+    MainMemory mem;
+    CacheModel l2;
+    std::vector<Core> cores;
+    RuntimeHooks *runtime = nullptr;
+    ProfileHook *profiler = nullptr;
+    /** CP2 registers shared through the write bus (saved_fp etc.). */
+    std::array<Word, 16> globalCp2{};
+
+    Cycle cycle = 0;
+    std::uint64_t nInsts = 0;
+    std::uint64_t nMemOps = 0;
+    Word exitVal = 0;
+    bool uncaughtExc = false;
+    std::uint32_t seqCpu = 0;      ///< CPU owning sequential execution
+
+    // ---- STL (speculation) state ------------------------------------
+    struct StlContext
+    {
+        std::int32_t loopId = -1;
+        Pc restartPc;
+        std::uint64_t headIteration = 0;
+        std::uint64_t nextToAssign = 0;
+        std::uint32_t master = 0;
+        std::uint32_t switchCpu = 0; ///< CPU that performed the switch
+        Cycle entryCycle = 0;
+        /** saved per-CPU iterations for multilevel switches */
+        std::vector<std::uint64_t> savedIterations;
+    };
+
+    bool specActive = false;
+    std::int32_t stlLoopId = -1;
+    Pc stlRestartPc;
+    std::uint64_t headIteration = 0;
+    std::uint64_t nextToAssign = 0;
+    std::uint32_t stlMaster = 0;
+    Cycle stlEntryCycle = 0;
+    bool hoistedHandlers = false;  ///< §4.2.7 cost model active
+    std::vector<StlContext> contextStack; ///< multilevel (§4.2.6)
+
+    ExecStats execStats;
+    StlStatsMap stlRuntime;
+
+    // ---- stepping ---------------------------------------------------
+    void stepCpu(Core &c);
+    void accountCycle(const Core &c);
+    void execute(Core &c);
+    void execMemOp(Core &c, const Inst &inst);
+    void execScop(Core &c, const Inst &inst);
+    void execSmem(Core &c, const Inst &inst);
+    void execTrap(Core &c, const Inst &inst);
+
+    // ---- TLS mechanics ----------------------------------------------
+    /** Perform a data load with full TLS semantics.  In trap
+     *  context the load may exceed the load-buffer capacity; the CPU
+     *  then stalls until head at the next instruction boundary. */
+    std::uint32_t doLoad(Core &c, Addr addr, std::uint32_t len,
+                         bool sign_extend, bool non_violating,
+                         Word &out, bool &faulted,
+                         std::uint32_t site = 0,
+                         bool trap_context = false);
+    /** Perform a data store with full TLS semantics (see doLoad for
+     *  trap context). */
+    std::uint32_t doStore(Core &c, Addr addr, std::uint32_t len,
+                          Word value, bool &faulted, bool &stalled,
+                          bool trap_context = false);
+
+    /** Squash CPU @p victim and everything more speculative. */
+    void violate(Core &victim);
+    /** Reset one CPU to its STL restart point. */
+    void squashToRestart(Core &c);
+    /** Commit the thread of @p c (must be head). */
+    void commitThread(Core &c);
+    /** Move tentative cycle accounting into used buckets. */
+    void retireTentative(Core &c, bool used);
+
+    void beginStl(Core &master, std::int32_t loop_id, Pc restart_pc);
+    void endStl(Core &exiting);
+    void wakeSlaves(Core &master, Pc entry);
+    void parkOthers(std::uint32_t keep_cpu);
+    void chargeHandler(Core &c, std::uint32_t cycles);
+
+    void dispatchException(Core &c);
+    void unwind(Core &c, ExcKind kind, Word value);
+
+    std::uint32_t cacheLatency(Core &c, Addr addr, bool is_store);
+    HandlerCosts activeCosts() const;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_TLS_MACHINE_HH

@@ -1,0 +1,334 @@
+#include "runtime.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+namespace
+{
+
+constexpr Word kByteArrayFlag = 0x40000000;
+
+std::uint32_t
+roundUp8(std::uint32_t v)
+{
+    return (v + 7u) & ~7u;
+}
+
+} // namespace
+
+VmRuntime::VmRuntime(Machine &machine, const VmConfig &config)
+    : m(machine), cfg(config)
+{
+    heapEnd = cfg.heapBase + cfg.heapBytes;
+    // Allocator control words live right below the heap so their
+    // traffic participates in speculation like any other memory.
+    globalTopAddr = cfg.heapBase - 8;
+    const std::uint32_t ncpu = m.config().numCpus;
+    for (std::uint32_t c = 0; c < ncpu; ++c) {
+        localTopAddr.push_back(cfg.heapBase - 16 - 8 * c);
+        localEndAddr.push_back(cfg.heapBase - 12 - 8 * c);
+    }
+}
+
+void
+VmRuntime::prepare()
+{
+    MainMemory &mem = m.memory();
+    mem.clear(cfg.globalsBase, 4096);
+    mem.clear(cfg.lockTableBase, 4 * cfg.maxLocks);
+    mem.writeWord(globalTopAddr, cfg.heapBase);
+    for (std::size_t c = 0; c < localTopAddr.size(); ++c) {
+        mem.writeWord(localTopAddr[c], 0);
+        mem.writeWord(localEndAddr[c], 0);
+    }
+    m.setReg(0, R_GP, cfg.globalsBase);
+}
+
+Addr
+VmRuntime::hostAllocArray(std::uint32_t elem_bytes,
+                          std::uint32_t length)
+{
+    MainMemory &mem = m.memory();
+    const std::uint32_t payload = roundUp8(
+        elem_bytes == 1 ? length : 4 * length);
+    const Word top = mem.readWord(globalTopAddr);
+    if (top + 8 + payload > heapEnd)
+        fatal("host allocation exhausted the heap");
+    const Addr ref = top + 8;
+    mem.writeWord(globalTopAddr, ref + payload);
+    mem.writeWord(ref - 8, elem_bytes == 1 ? kByteArrayFlag : 0);
+    mem.writeWord(ref - 4, length);
+    mem.clear(ref, payload);
+    objects.insert(ref);
+    return ref;
+}
+
+bool
+VmRuntime::shouldCollect() const
+{
+    const Word top = m.memory().readWord(globalTopAddr);
+    const double free_bytes = static_cast<double>(heapEnd - top);
+    return free_bytes <
+           cfg.gcTriggerFraction * static_cast<double>(cfg.heapBytes);
+}
+
+std::uint32_t
+VmRuntime::allocate(std::uint32_t cpu, Word class_word,
+                    std::uint32_t payload_bytes,
+                    std::uint32_t length_word, Word &ref)
+{
+    std::uint32_t cycles = cfg.allocTrapCycles;
+    const std::uint32_t total = 8 + roundUp8(payload_bytes);
+    const bool spec = m.speculating(cpu);
+
+    ++vmStats.allocations;
+    vmStats.allocatedBytes += total;
+
+    Word base = 0;
+    if (!spec) {
+        // Non-speculative fast path: reuse a swept chunk when one
+        // fits, else bump the shared top.
+        auto it = freeChunks.lower_bound(total);
+        if (it != freeChunks.end() && it->first < 2 * total + 64) {
+            base = it->second;
+            m.memory().clear(base, total);
+            if (it->first > total) {
+                // Return the tail to the pool.
+                freeChunks.emplace(it->first - total,
+                                   base + total);
+            }
+            freeChunks.erase(it);
+            cycles += 6;
+        } else {
+            Word top;
+            cycles += m.trapLoadWord(cpu, globalTopAddr, top);
+            if (top + total > heapEnd) {
+                const std::uint64_t before = vmStats.gcCycles;
+                collect(cpu);
+                cycles += static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(
+                        vmStats.gcCycles - before, 0x0fffffff));
+                cycles += m.trapLoadWord(cpu, globalTopAddr, top);
+                if (top + total > heapEnd) {
+                    auto it2 = freeChunks.lower_bound(total);
+                    if (it2 == freeChunks.end())
+                        fatal("out of simulated heap (%u bytes "
+                              "requested)", total);
+                    base = it2->second;
+                    m.memory().clear(base, total);
+                    if (it2->first > total)
+                        freeChunks.emplace(it2->first - total,
+                                           base + total);
+                    freeChunks.erase(it2);
+                }
+            }
+            if (!base) {
+                base = top;
+                cycles += m.trapStoreWord(cpu, globalTopAddr,
+                                          top + total);
+            }
+        }
+    } else if (cfg.speculativeAllocators) {
+        // §5.2: per-CPU allocation buffers; only a refill touches
+        // shared state.  Buffered updates roll back with the thread.
+        Word top, end;
+        cycles += m.trapLoadWord(cpu, localTopAddr[cpu], top);
+        cycles += m.trapLoadWord(cpu, localEndAddr[cpu], end);
+        if (top == 0 || top + total > end) {
+            const std::uint32_t chunk =
+                std::max(cfg.localAllocChunk, total);
+            Word gtop;
+            cycles += m.trapLoadWord(cpu, globalTopAddr, gtop);
+            if (gtop + chunk > heapEnd)
+                fatal("speculative allocation exhausted the heap");
+            cycles += m.trapStoreWord(cpu, globalTopAddr,
+                                      gtop + chunk);
+            top = gtop;
+            end = gtop + chunk;
+            cycles += m.trapStoreWord(cpu, localEndAddr[cpu], end);
+        }
+        base = top;
+        cycles += m.trapStoreWord(cpu, localTopAddr[cpu],
+                                  base + total);
+    } else {
+        // Ablation: speculative threads fight over the shared top —
+        // the serializing dependency of §5.2.
+        Word top;
+        cycles += m.trapLoadWord(cpu, globalTopAddr, top);
+        if (top + total > heapEnd)
+            fatal("speculative allocation exhausted the heap");
+        base = top;
+        cycles += m.trapStoreWord(cpu, globalTopAddr, top + total);
+    }
+
+    ref = base + 8;
+    cycles += m.trapStoreWord(cpu, base, class_word);
+    cycles += m.trapStoreWord(cpu, base + 4, length_word);
+    // Zero the payload.  Fresh bump memory is already zero; reused
+    // chunks were cleared above.  Speculative threads zero through
+    // the store buffer so a squash rolls it back cleanly.
+    if (spec) {
+        for (std::uint32_t off = 0; off < roundUp8(payload_bytes);
+             off += 4)
+            m.trapStoreWord(cpu, ref + off, 0);
+        cycles += roundUp8(payload_bytes) / 4;
+    }
+    objects.insert(ref);
+    return cycles;
+}
+
+void
+VmRuntime::markFrom(Word candidate, std::vector<Addr> &work,
+                    std::set<Addr> &marked) const
+{
+    auto it = objects.find(candidate);
+    if (it == objects.end())
+        return;
+    if (marked.insert(candidate).second)
+        work.push_back(candidate);
+}
+
+void
+VmRuntime::collect(std::uint32_t cpu)
+{
+    (void)cpu;
+    MainMemory &mem = m.memory();
+    ++vmStats.gcRuns;
+
+    std::set<Addr> marked;
+    std::vector<Addr> work;
+    std::uint64_t scanned = 0;
+
+    // Roots: statics, every CPU's registers, and the stack region.
+    for (std::uint32_t s = 0; s < 1024; ++s)
+        markFrom(mem.readWord(cfg.globalsBase + 4 * s), work, marked);
+    for (std::uint32_t c = 0; c < m.config().numCpus; ++c) {
+        for (std::uint8_t r = 0; r < NUM_REGS; ++r)
+            markFrom(m.reg(c, r), work, marked);
+        const Word sp = m.reg(c, R_SP);
+        if (sp >= cfg.stackTop - (256u << 10) && sp < cfg.stackTop)
+            for (Addr at = sp & ~3u; at < cfg.stackTop; at += 4)
+                markFrom(mem.readWord(at), work, marked);
+    }
+
+    // Trace: conservative scan of object payloads (word arrays and
+    // object fields may hold refs; byte arrays never do).
+    while (!work.empty()) {
+        const Addr ref = work.back();
+        work.pop_back();
+        const Word header = mem.readWord(ref - 8);
+        if (header & kByteArrayFlag)
+            continue;
+        const Word words = mem.readWord(ref - 4);
+        scanned += words;
+        for (Word i = 0; i < words; ++i)
+            markFrom(mem.readWord(ref + 4 * i), work, marked);
+    }
+
+    // Sweep: unmarked objects become free chunks.
+    std::uint64_t freed = 0;
+    for (auto it = objects.begin(); it != objects.end();) {
+        if (marked.count(*it)) {
+            ++it;
+            continue;
+        }
+        const Addr ref = *it;
+        const Word header = mem.readWord(ref - 8);
+        Word payload_bytes;
+        if (header & kByteArrayFlag)
+            payload_bytes = roundUp8(mem.readWord(ref - 4));
+        else
+            payload_bytes = roundUp8(4 * mem.readWord(ref - 4));
+        freeChunks.emplace(8 + payload_bytes, ref - 8);
+        it = objects.erase(it);
+        ++freed;
+    }
+    vmStats.gcFreedObjects += freed;
+
+    const auto cost = static_cast<std::uint64_t>(
+        cfg.gcCyclesPerScannedWord * static_cast<double>(scanned) +
+        cfg.gcCyclesPerSweptObject *
+            static_cast<double>(objects.size() + freed));
+    vmStats.gcCycles += cost;
+}
+
+std::uint32_t
+VmRuntime::trap(Machine &machine, std::uint32_t cpu, TrapId id)
+{
+    switch (id) {
+      case TrapId::AllocObject: {
+        const Word cls = machine.reg(cpu, R_A0);
+        const Word words = machine.reg(cpu, R_A1);
+        Word ref = 0;
+        std::uint32_t cycles =
+            allocate(cpu, cls & 0xffff, 4 * words, words, ref);
+        machine.setReg(cpu, R_V0, ref);
+        return cycles;
+      }
+      case TrapId::AllocArray: {
+        const Word elem = machine.reg(cpu, R_A0);
+        const Word len = machine.reg(cpu, R_A1);
+        if (static_cast<SWord>(len) < 0) {
+            machine.raiseException(cpu, ExcKind::Bounds, 0);
+            return 0;
+        }
+        Word ref = 0;
+        const std::uint32_t payload =
+            elem == 1 ? len : 4 * len;
+        std::uint32_t cycles = allocate(
+            cpu, elem == 1 ? kByteArrayFlag : 0, payload, len, ref);
+        machine.setReg(cpu, R_V0, ref);
+        return cycles;
+      }
+      case TrapId::MonitorEnter:
+      case TrapId::MonitorExit: {
+        ++vmStats.monitorEnters;
+        if (machine.speculating(cpu) && cfg.speculativeLockElision) {
+            // §5.3: sequential ordering is already guaranteed by the
+            // TLS hardware; skip the lock traffic entirely.
+            return 2;
+        }
+        const Word lock_id = machine.reg(cpu, R_A0) %
+                             cfg.maxLocks;
+        const Addr addr = cfg.lockTableBase + 4 * lock_id;
+        std::uint32_t cycles = cfg.monitorTrapCycles;
+        Word v;
+        cycles += machine.trapLoadWord(cpu, addr, v);
+        cycles += machine.trapStoreWord(
+            cpu, addr, id == TrapId::MonitorEnter ? 1 : 0);
+        return cycles;
+      }
+      case TrapId::PrintInt: {
+        // I/O cannot execute speculatively (§6.1): wait to become
+        // the head thread, then perform it for real.
+        if (!machine.requireNonSpeculative(cpu))
+            return kTrapRetry;
+        vmStats.output.push_back(machine.reg(cpu, R_A0));
+        return cfg.printTrapCycles;
+      }
+      case TrapId::GcSafepoint: {
+        if (machine.speculating(cpu))
+            return 1; // collections only at sequential safepoints
+        if (shouldCollect()) {
+            const std::uint64_t before = vmStats.gcCycles;
+            collect(cpu);
+            return static_cast<std::uint32_t>(std::min<
+                std::uint64_t>(vmStats.gcCycles - before,
+                               0x0fffffff));
+        }
+        return 1;
+      }
+      case TrapId::Yield:
+        return 1;
+      case TrapId::Throw:
+        panic("Throw trap must be handled by the machine");
+      default:
+        panic("unknown trap %d", static_cast<int>(id));
+    }
+}
+
+} // namespace jrpm

@@ -1,0 +1,945 @@
+/**
+ * @file
+ * Floating-point benchmark analogues (Table 3, middle block): the
+ * regular array codes where Jrpm reaches speedups of 3-4 on four
+ * CPUs.
+ */
+
+#include "workloads.hh"
+
+#include "builder_util.hh"
+
+namespace jrpm
+{
+namespace wl
+{
+
+namespace
+{
+
+/** Emit `push float(hashOfIndex(i)/32768)` — parallel data init. */
+void
+hashOfIndexF(BcBuilder &b, std::uint32_t i_slot)
+{
+    hashOfIndex(b, i_slot);
+    b.emit(Bc::I2F);
+    b.fconst(1.0f / 32768.0f);
+    b.emit(Bc::FMUL);
+}
+
+/** Fold a float on the stack into an integer checksum slot. */
+void
+foldF(BcBuilder &b, std::uint32_t checksum_slot)
+{
+    b.fconst(4096.0f);
+    b.emit(Bc::FMUL);
+    b.emit(Bc::F2I);
+    foldChecksum(b, checksum_slot);
+}
+
+/**
+ * euler (Java Grande section 3 analogue): Jacobi sweeps over a 2D
+ * grid with double buffering — independent rows, the classic
+ * data-set-sensitive nest (row loop vs cell loop).
+ */
+Workload
+euler()
+{
+    BcProgram p;
+    // locals: 0=rows 1=a 2=bu 3=pass 4=r 5=c 6=base 7=sum 8=seed
+    //         9=cols 10=passes 11=acc 12=src 13=dst 14=t
+    BcBuilder b("main", 1, 15, true);
+    b.iconst(36);
+    b.store(9);
+    b.load(0);
+    b.load(9);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(0);
+    b.load(9);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.iconst(4321);
+    b.store(8);
+    b.load(0);
+    b.load(9);
+    b.emit(Bc::IMUL);
+    b.store(14);
+    forTo(b, 4, 0, 14, 1, [&] {
+        b.load(1);
+        b.load(4);
+        hashOfIndexF(b, 4);
+        b.emit(Bc::IASTORE);
+    });
+    b.iconst(0);
+    b.store(7);
+    forToConst(b, 3, 0, 10, 10, 1, [&] { // passes, alternating
+        // src/dst selection by pass parity
+        auto odd = b.newLabel(), go = b.newLabel();
+        b.load(3);
+        b.iconst(1);
+        b.emit(Bc::IAND);
+        b.br(Bc::IFNE, odd);
+        b.load(1);
+        b.store(12);
+        b.load(2);
+        b.store(13);
+        b.br(Bc::GOTO, go);
+        b.bind(odd);
+        b.load(2);
+        b.store(12);
+        b.load(1);
+        b.store(13);
+        b.bind(go);
+        forTo(b, 4, 1, 0, 1, [&] {   // interior rows: the STL
+            // skip the last row
+            auto rowOk = b.newLabel(), rowEnd = b.newLabel();
+            b.load(4);
+            b.load(0);
+            b.iconst(1);
+            b.emit(Bc::ISUB);
+            b.br(Bc::IF_ICMPLT, rowOk);
+            b.br(Bc::GOTO, rowEnd);
+            b.bind(rowOk);
+            b.load(4);
+            b.load(9);
+            b.emit(Bc::IMUL);
+            b.store(6);
+            forTo(b, 5, 1, 9, 1, [&] { // interior columns
+                auto colOk = b.newLabel(), colEnd = b.newLabel();
+                b.load(5);
+                b.load(9);
+                b.iconst(1);
+                b.emit(Bc::ISUB);
+                b.br(Bc::IF_ICMPLT, colOk);
+                b.br(Bc::GOTO, colEnd);
+                b.bind(colOk);
+                // dst[r][c] = 0.25*(src up + down + left + right)
+                b.load(13);
+                b.load(6);
+                b.load(5);
+                b.emit(Bc::IADD);
+                b.load(12);
+                b.load(6);
+                b.load(5);
+                b.emit(Bc::IADD);
+                b.load(9);
+                b.emit(Bc::ISUB);
+                b.emit(Bc::IALOAD);
+                b.load(12);
+                b.load(6);
+                b.load(5);
+                b.emit(Bc::IADD);
+                b.load(9);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.emit(Bc::FADD);
+                b.load(12);
+                b.load(6);
+                b.load(5);
+                b.emit(Bc::IADD);
+                b.iconst(1);
+                b.emit(Bc::ISUB);
+                b.emit(Bc::IALOAD);
+                b.emit(Bc::FADD);
+                b.load(12);
+                b.load(6);
+                b.load(5);
+                b.emit(Bc::IADD);
+                b.iconst(1);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.emit(Bc::FADD);
+                b.fconst(0.25f);
+                b.emit(Bc::FMUL);
+                b.emit(Bc::IASTORE);
+                b.bind(colEnd);
+            });
+            b.bind(rowEnd);
+        });
+    });
+    b.load(0);
+    b.load(9);
+    b.emit(Bc::IMUL);
+    b.store(14);
+    forTo(b, 4, 0, 14, 1, [&] {
+        b.load(2);
+        b.load(4);
+        b.emit(Bc::IALOAD);
+        foldF(b, 7);
+    });
+    b.load(7);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    p.numStatics = 1;
+
+    Workload w = make("euler", "fp", "Fluid dynamics", std::move(p),
+                      {40}, {14});
+    w.dataSet = "33x9";
+    w.analyzable = true;
+    w.dataSetSensitive = true;
+    return w;
+}
+
+/**
+ * fft (SPECjvm98 analogue, n=1024): iterative butterflies.  Late
+ * stages have few, very large speculative iterations whose state
+ * overflows the buffers — the wait-used time of Fig. 10.
+ */
+Workload
+fft()
+{
+    BcProgram p;
+    // locals: 0=n 1=re 2=im 3=len 4=i 5=j 6=sum 7=seed 8=half
+    //         9=tr 10=ti 11=a 12=bidx 13=wr 14=wi
+    BcBuilder b("main", 1, 15, true);
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.iconst(2718);
+    b.store(7);
+    forTo(b, 4, 0, 0, 1, [&] {
+        b.load(1);
+        b.load(4);
+        hashOfIndexF(b, 4);
+        b.emit(Bc::IASTORE);
+        b.load(2);
+        b.load(4);
+        b.iconst(0);
+        b.emit(Bc::IASTORE);
+    });
+    b.iconst(0);
+    b.store(6);
+    // for (len = 2; len <= n; len <<= 1)
+    auto stageTop = b.newLabel(), stageOut = b.newLabel();
+    b.iconst(2);
+    b.store(3);
+    b.bind(stageTop);
+    b.load(3);
+    b.load(0);
+    b.br(Bc::IF_ICMPGT, stageOut);
+    b.load(3);
+    b.iconst(1);
+    b.emit(Bc::IUSHR);
+    b.store(8);
+    // group loop: for (i = 0; i < n; i += len) — the STL
+    forTo(b, 4, 0, 0, 0, [&] {
+        // (step encoded below: manual iinc by len is not constant,
+        //  so the loop advances i by recomputing)
+        forTo(b, 5, 0, 8, 1, [&] {
+            // simple rational twiddles dependent on j
+            b.load(5);
+            b.emit(Bc::I2F);
+            b.fconst(0.001f);
+            b.emit(Bc::FMUL);
+            b.fconst(0.92f);
+            b.emit(Bc::FADD);
+            b.store(13);
+            b.fconst(0.39f);
+            b.store(14);
+            // bidx = i + j; butterfly with bidx + half
+            b.load(4);
+            b.load(5);
+            b.emit(Bc::IADD);
+            b.store(12);
+            // tr = wr*re[b+h] - wi*im[b+h]
+            b.load(13);
+            b.load(1);
+            b.load(12);
+            b.load(8);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::FMUL);
+            b.load(14);
+            b.load(2);
+            b.load(12);
+            b.load(8);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::FMUL);
+            b.emit(Bc::FSUB);
+            b.store(9);
+            // ti = wr*im[b+h] + wi*re[b+h]
+            b.load(13);
+            b.load(2);
+            b.load(12);
+            b.load(8);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::FMUL);
+            b.load(14);
+            b.load(1);
+            b.load(12);
+            b.load(8);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::FMUL);
+            b.emit(Bc::FADD);
+            b.store(10);
+            // re[b+h] = re[b] - tr; re[b] += tr (same for im)
+            b.load(1);
+            b.load(12);
+            b.load(8);
+            b.emit(Bc::IADD);
+            b.load(1);
+            b.load(12);
+            b.emit(Bc::IALOAD);
+            b.load(9);
+            b.emit(Bc::FSUB);
+            b.emit(Bc::IASTORE);
+            b.load(1);
+            b.load(12);
+            b.load(1);
+            b.load(12);
+            b.emit(Bc::IALOAD);
+            b.load(9);
+            b.emit(Bc::FADD);
+            b.emit(Bc::IASTORE);
+            b.load(2);
+            b.load(12);
+            b.load(8);
+            b.emit(Bc::IADD);
+            b.load(2);
+            b.load(12);
+            b.emit(Bc::IALOAD);
+            b.load(10);
+            b.emit(Bc::FSUB);
+            b.emit(Bc::IASTORE);
+            b.load(2);
+            b.load(12);
+            b.load(2);
+            b.load(12);
+            b.emit(Bc::IALOAD);
+            b.load(10);
+            b.emit(Bc::FADD);
+            b.emit(Bc::IASTORE);
+        });
+        // advance the group index by len (forTo's own step is 0)
+        b.load(4);
+        b.load(3);
+        b.emit(Bc::IADD);
+        b.store(4);
+    });
+    b.load(3);
+    b.iconst(1);
+    b.emit(Bc::ISHL);
+    b.store(3);
+    b.br(Bc::GOTO, stageTop);
+    b.bind(stageOut);
+    forTo(b, 4, 0, 0, 1, [&] {
+        b.load(1);
+        b.load(4);
+        b.emit(Bc::IALOAD);
+        foldF(b, 6);
+    });
+    b.load(6);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    p.numStatics = 1;
+
+    Workload w = make("fft", "fp", "Fast fourier trans.",
+                      std::move(p), {1024}, {256});
+    w.dataSet = "1024.";
+    w.analyzable = true;
+    return w;
+}
+
+/**
+ * FourierTest (jBYTEmark): Fourier coefficients by numerical
+ * integration — an outer coefficient loop of fat, independent
+ * threads with a private inner accumulator.
+ */
+Workload
+fourierTest()
+{
+    BcProgram p;
+    // locals: 0=ncoef 1=coef 2=k 3=m 4=acc 5=x 6=term 7=sum 8=nint
+    BcBuilder b("main", 1, 9, true);
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.iconst(0);
+    b.store(7);
+    forTo(b, 2, 1, 0, 1, [&] {   // coefficients: the STL
+        b.fconst(0.0f);
+        b.store(4);
+        forToConst(b, 3, 0, 40, 8, 1, [&] { // integration points
+            // x = m * 0.05 * k
+            b.load(3);
+            b.emit(Bc::I2F);
+            b.fconst(0.05f);
+            b.emit(Bc::FMUL);
+            b.load(2);
+            b.emit(Bc::I2F);
+            b.emit(Bc::FMUL);
+            b.store(5);
+            // term = x - x^3/6 + x^5/120 (sin approximation), with
+            // x wrapped crudely into [-2, 2] by scaling
+            b.load(5);
+            b.fconst(0.11f);
+            b.emit(Bc::FMUL);
+            b.store(5);
+            b.load(5);
+            b.load(5);
+            b.load(5);
+            b.emit(Bc::FMUL);
+            b.load(5);
+            b.emit(Bc::FMUL);
+            b.fconst(1.0f / 6.0f);
+            b.emit(Bc::FMUL);
+            b.emit(Bc::FSUB);
+            b.store(6);
+            b.load(4);
+            b.load(6);
+            b.emit(Bc::FADD);
+            b.store(4);
+        });
+        b.load(1);
+        b.load(2);
+        b.load(4);
+        b.emit(Bc::IASTORE);
+        b.load(4);
+        foldF(b, 7);
+    });
+    b.load(7);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+
+    Workload w = make("FourierTest", "fp", "Fourier coefficients",
+                      std::move(p), {220}, {28});
+    w.analyzable = true;
+    return w;
+}
+
+/**
+ * LuFactor (jBYTEmark, 101x101): LU decomposition — the elimination
+ * row loop speculates inside a serial pivot loop; iterations shrink
+ * as k advances (data-set sensitive level selection).
+ */
+Workload
+luFactor()
+{
+    BcProgram p;
+    // locals: 0=n 1=a 2=k 3=r 4=c 5=f 6=base 7=kbase 8=sum 9=seed
+    //         10=nn
+    BcBuilder b("main", 1, 11, true);
+    b.load(0);
+    b.load(0);
+    b.emit(Bc::IMUL);
+    b.store(10);
+    b.load(10);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.iconst(8642);
+    b.store(9);
+    forTo(b, 3, 0, 10, 1, [&] {
+        b.load(1);
+        b.load(3);
+        hashOfIndexF(b, 3);
+        b.fconst(1.0f);
+        b.emit(Bc::FADD);     // keep pivots away from zero
+        b.emit(Bc::IASTORE);
+    });
+    b.iconst(0);
+    b.store(8);
+    forTo(b, 2, 0, 0, 1, [&] {   // pivot column k (serial)
+        b.load(2);
+        b.load(0);
+        b.emit(Bc::IMUL);
+        b.store(7);
+        forTo(b, 3, 0, 0, 1, [&] {   // elimination rows: the STL
+            auto below = b.newLabel(), skip = b.newLabel();
+            b.load(3);
+            b.load(2);
+            b.br(Bc::IF_ICMPGT, below);
+            b.br(Bc::GOTO, skip);
+            b.bind(below);
+            b.load(3);
+            b.load(0);
+            b.emit(Bc::IMUL);
+            b.store(6);
+            // f = a[r][k] / a[k][k]
+            b.load(1);
+            b.load(6);
+            b.load(2);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.load(1);
+            b.load(7);
+            b.load(2);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::FDIV);
+            b.store(5);
+            forTo(b, 4, 0, 0, 1, [&] { // row update from column k on
+                auto doit = b.newLabel(), next = b.newLabel();
+                b.load(4);
+                b.load(2);
+                b.br(Bc::IF_ICMPGE, doit);
+                b.br(Bc::GOTO, next);
+                b.bind(doit);
+                b.load(1);
+                b.load(6);
+                b.load(4);
+                b.emit(Bc::IADD);
+                b.load(1);
+                b.load(6);
+                b.load(4);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.load(5);
+                b.load(1);
+                b.load(7);
+                b.load(4);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.emit(Bc::FMUL);
+                b.emit(Bc::FSUB);
+                b.emit(Bc::IASTORE);
+                b.bind(next);
+            });
+            b.bind(skip);
+        });
+    });
+    forTo(b, 3, 0, 10, 1, [&] {
+        b.load(1);
+        b.load(3);
+        b.emit(Bc::IALOAD);
+        foldF(b, 8);
+    });
+    b.load(8);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    p.numStatics = 1;
+
+    Workload w = make("LuFactor", "fp", "LU factorization",
+                      std::move(p), {40}, {14});
+    w.dataSet = "101x101";
+    w.analyzable = true;
+    w.dataSetSensitive = true;
+    return w;
+}
+
+/**
+ * moldyn (Java Grande): molecular dynamics — force accumulation
+ * over a neighbour window with the energy falling into a reduction
+ * (§4.2.5), then an independent position update.
+ */
+Workload
+moldyn()
+{
+    BcProgram p;
+    // locals: 0=n 1=pos 2=vel 3=i 4=j 5=d 6=f 7=energy 8=sum 9=seed
+    //         10=jl
+    BcBuilder b("main", 1, 11, true);
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.iconst(11);
+    b.store(9);
+    forTo(b, 3, 0, 0, 1, [&] {
+        b.load(1);
+        b.load(3);
+        hashOfIndexF(b, 3);
+        b.emit(Bc::IASTORE);
+        b.load(2);
+        b.load(3);
+        b.iconst(0);
+        b.emit(Bc::IASTORE);
+    });
+    b.iconst(0);
+    b.store(7); // energy checksum (integer-folded reduction)
+    b.iconst(0);
+    b.store(8);
+    forTo(b, 3, 0, 0, 1, [&] {   // particles: the STL
+        b.fconst(0.0f);
+        b.store(6);
+        forToConst(b, 4, 1, 9, 10, 1, [&] { // neighbour window
+            // d = pos[i] - pos[(i+j) % n]
+            b.load(1);
+            b.load(3);
+            b.emit(Bc::IALOAD);
+            b.load(1);
+            b.load(3);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.load(0);
+            b.emit(Bc::IREM);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::FSUB);
+            b.store(5);
+            // f += d * d * 0.37
+            b.load(6);
+            b.load(5);
+            b.load(5);
+            b.emit(Bc::FMUL);
+            b.fconst(0.37f);
+            b.emit(Bc::FMUL);
+            b.emit(Bc::FADD);
+            b.store(6);
+        });
+        // vel[i] += f * dt; energy reduction
+        b.load(2);
+        b.load(3);
+        b.load(2);
+        b.load(3);
+        b.emit(Bc::IALOAD);
+        b.load(6);
+        b.fconst(0.01f);
+        b.emit(Bc::FMUL);
+        b.emit(Bc::FADD);
+        b.emit(Bc::IASTORE);
+        b.load(6);
+        b.fconst(512.0f);
+        b.emit(Bc::FMUL);
+        b.emit(Bc::F2I);
+        b.load(7);
+        b.emit(Bc::IADD);
+        b.store(7);
+    });
+    // position update pass (independent)
+    forTo(b, 3, 0, 0, 1, [&] {
+        b.load(1);
+        b.load(3);
+        b.load(1);
+        b.load(3);
+        b.emit(Bc::IALOAD);
+        b.load(2);
+        b.load(3);
+        b.emit(Bc::IALOAD);
+        b.emit(Bc::FADD);
+        b.emit(Bc::IASTORE);
+        b.load(1);
+        b.load(3);
+        b.emit(Bc::IALOAD);
+        foldF(b, 8);
+    });
+    b.load(8);
+    b.load(7);
+    b.emit(Bc::IXOR);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    p.numStatics = 1;
+
+    Workload w = make("moldyn", "fp", "Molecular dynamics",
+                      std::move(p), {3000}, {420});
+    w.analyzable = true;
+    return w;
+}
+
+/**
+ * NeuralNet (jBYTEmark, 35x8x8): layered forward passes — small
+ * loops entered once per training epoch, the §4.2.7 hoisting case.
+ */
+Workload
+neuralNet()
+{
+    BcProgram p;
+    // locals: 0=epochs 1=in 2=w1 3=hid 4=e 5=h 6=i 7=acc 8=sum
+    //         9=seed 10=nin 11=nhid 12=nw
+    BcBuilder b("main", 1, 13, true);
+    b.iconst(35);
+    b.store(10);
+    b.iconst(8);
+    b.store(11);
+    b.load(10);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(10);
+    b.load(11);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.load(11);
+    b.emit(Bc::NEWARRAY);
+    b.store(3);
+    b.iconst(369);
+    b.store(9);
+    forTo(b, 6, 0, 10, 1, [&] {
+        b.load(1);
+        b.load(6);
+        hashOfIndexF(b, 6);
+        b.emit(Bc::IASTORE);
+    });
+    b.load(10);
+    b.load(11);
+    b.emit(Bc::IMUL);
+    b.store(12);
+    forTo(b, 6, 0, 12, 1, [&] {
+        b.load(2);
+        b.load(6);
+        hashOfIndexF(b, 6);
+        b.emit(Bc::IASTORE);
+    });
+    b.iconst(0);
+    b.store(8);
+    forTo(b, 4, 0, 0, 1, [&] {   // epochs
+        forTo(b, 5, 0, 11, 1, [&] { // hidden units: the hoisted STL
+            b.fconst(0.0f);
+            b.store(7);
+            forTo(b, 6, 0, 10, 1, [&] {
+                b.load(7);
+                b.load(1);
+                b.load(6);
+                b.emit(Bc::IALOAD);
+                b.load(2);
+                b.load(5);
+                b.load(10);
+                b.emit(Bc::IMUL);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.emit(Bc::FMUL);
+                b.emit(Bc::FADD);
+                b.store(7);
+            });
+            b.load(3);
+            b.load(5);
+            b.load(7);
+            b.emit(Bc::IASTORE);
+        });
+        // nudge one weight per epoch (training step)
+        b.load(2);
+        b.load(4);
+        b.load(10);
+        b.load(11);
+        b.emit(Bc::IMUL);
+        b.emit(Bc::IREM);
+        b.load(3);
+        b.load(4);
+        b.load(11);
+        b.emit(Bc::IREM);
+        b.emit(Bc::IALOAD);
+        b.fconst(0.001f);
+        b.emit(Bc::FMUL);
+        b.emit(Bc::IASTORE);
+    });
+    forTo(b, 5, 0, 11, 1, [&] {
+        b.load(3);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        foldF(b, 8);
+    });
+    b.load(8);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    p.numStatics = 1;
+
+    Workload w = make("NeuralNet", "fp", "Neural net", std::move(p),
+                      {260}, {36});
+    w.dataSet = "35x8x8";
+    w.analyzable = true;
+    w.dataSetSensitive = true;
+    return w;
+}
+
+/**
+ * shallow (256x256 shallow water): several independent stencil
+ * sweeps per timestep over separate field arrays — the best FP
+ * speedups in the paper.
+ */
+Workload
+shallow()
+{
+    BcProgram p;
+    // locals: 0=rows 1=u 2=v 3=pr 4=step 5=r 6=c 7=base 8=sum
+    //         9=cols 10=steps 11=nn
+    BcBuilder b("main", 1, 12, true);
+    b.iconst(34);
+    b.store(9);
+    b.load(0);
+    b.load(9);
+    b.emit(Bc::IMUL);
+    b.store(11);
+    b.load(11);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(11);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.load(11);
+    b.emit(Bc::NEWARRAY);
+    b.store(3);
+    forTo(b, 5, 0, 11, 1, [&] {
+        b.load(1);
+        b.load(5);
+        b.load(5);
+        b.emit(Bc::I2F);
+        b.fconst(0.013f);
+        b.emit(Bc::FMUL);
+        b.emit(Bc::IASTORE);
+        b.load(2);
+        b.load(5);
+        b.iconst(0);
+        b.emit(Bc::IASTORE);
+        b.load(3);
+        b.load(5);
+        b.iconst(0);
+        b.emit(Bc::IASTORE);
+    });
+    b.iconst(0);
+    b.store(8);
+    forToConst(b, 4, 0, 6, 10, 1, [&] { // timesteps
+        forTo(b, 5, 1, 0, 1, [&] {       // rows of v update: STL 1
+            auto ok = b.newLabel(), end = b.newLabel();
+            b.load(5);
+            b.load(0);
+            b.iconst(1);
+            b.emit(Bc::ISUB);
+            b.br(Bc::IF_ICMPLT, ok);
+            b.br(Bc::GOTO, end);
+            b.bind(ok);
+            b.load(5);
+            b.load(9);
+            b.emit(Bc::IMUL);
+            b.store(7);
+            forTo(b, 6, 1, 9, 1, [&] {
+                auto cok = b.newLabel(), cend = b.newLabel();
+                b.load(6);
+                b.load(9);
+                b.iconst(1);
+                b.emit(Bc::ISUB);
+                b.br(Bc::IF_ICMPLT, cok);
+                b.br(Bc::GOTO, cend);
+                b.bind(cok);
+                // v[r][c] = 0.5*(u[r][c] - u[r][c-1]) + 0.9*v[r][c]
+                b.load(2);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.load(1);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.load(1);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.iconst(1);
+                b.emit(Bc::ISUB);
+                b.emit(Bc::IALOAD);
+                b.emit(Bc::FSUB);
+                b.fconst(0.5f);
+                b.emit(Bc::FMUL);
+                b.load(2);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.fconst(0.9f);
+                b.emit(Bc::FMUL);
+                b.emit(Bc::FADD);
+                b.emit(Bc::IASTORE);
+                b.bind(cend);
+            });
+            b.bind(end);
+        });
+        forTo(b, 5, 1, 0, 1, [&] {       // rows of pressure: STL 2
+            auto ok = b.newLabel(), end = b.newLabel();
+            b.load(5);
+            b.load(0);
+            b.iconst(1);
+            b.emit(Bc::ISUB);
+            b.br(Bc::IF_ICMPLT, ok);
+            b.br(Bc::GOTO, end);
+            b.bind(ok);
+            b.load(5);
+            b.load(9);
+            b.emit(Bc::IMUL);
+            b.store(7);
+            forTo(b, 6, 1, 9, 1, [&] {
+                auto cok = b.newLabel(), cend = b.newLabel();
+                b.load(6);
+                b.load(9);
+                b.iconst(1);
+                b.emit(Bc::ISUB);
+                b.br(Bc::IF_ICMPLT, cok);
+                b.br(Bc::GOTO, cend);
+                b.bind(cok);
+                // pr[r][c] += 0.25*(v up + v down) - 0.1*u[r][c]
+                b.load(3);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.load(3);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.load(2);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.load(9);
+                b.emit(Bc::ISUB);
+                b.emit(Bc::IALOAD);
+                b.load(2);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.load(9);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.emit(Bc::FADD);
+                b.fconst(0.25f);
+                b.emit(Bc::FMUL);
+                b.emit(Bc::FADD);
+                b.load(1);
+                b.load(7);
+                b.load(6);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.fconst(0.1f);
+                b.emit(Bc::FMUL);
+                b.emit(Bc::FSUB);
+                b.emit(Bc::IASTORE);
+                b.bind(cend);
+            });
+            b.bind(end);
+        });
+    });
+    forTo(b, 5, 0, 11, 1, [&] {
+        b.load(3);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        foldF(b, 8);
+    });
+    b.load(8);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+
+    Workload w = make("shallow", "fp", "Shallow water sim.",
+                      std::move(p), {40}, {16});
+    w.dataSet = "256x256";
+    w.analyzable = true;
+    w.dataSetSensitive = true;
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+fpWorkloads()
+{
+    return {euler(), fft(), fourierTest(), luFactor(), moldyn(),
+            neuralNet(), shallow()};
+}
+
+} // namespace wl
+} // namespace jrpm

@@ -1,0 +1,577 @@
+/**
+ * @file
+ * Multimedia benchmark analogues (Table 3, lower block): block-based
+ * integer transforms with speedups of 2-3, plus mp3's multilevel STL
+ * decomposition (§4.2.6) and serial bit-parsing fraction.
+ */
+
+#include "workloads.hh"
+
+#include "builder_util.hh"
+
+namespace jrpm
+{
+namespace wl
+{
+
+namespace
+{
+
+/**
+ * decJpeg: per-block dequantization and separable butterfly
+ * transform (IDCT analogue) — independent 64-coefficient blocks.
+ */
+Workload
+decJpeg()
+{
+    BcProgram p;
+    // locals: 0=nblocks 1=coef 2=quant 3=blk 4=k 5=base 6=t0 7=t1
+    //         8=sum 9=seed 10=kl 11=scr
+    BcBuilder b("main", 1, 12, true);
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.iconst(64);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.iconst(7331);
+    b.store(9);
+    forToConst(b, 4, 0, 64, 10, 1, [&] {
+        b.load(2);
+        b.load(4);
+        hashOfIndex(b, 4, 3);
+        b.iconst(63);
+        b.emit(Bc::IAND);
+        b.iconst(1);
+        b.emit(Bc::IADD);
+        b.emit(Bc::IASTORE);
+    });
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.store(10);
+    forTo(b, 4, 0, 10, 1, [&] {
+        b.load(1);
+        b.load(4);
+        hashOfIndex(b, 4);
+        b.iconst(1023);
+        b.emit(Bc::IAND);
+        b.iconst(512);
+        b.emit(Bc::ISUB);
+        b.emit(Bc::IASTORE);
+    });
+    serialMix(b, 1, 10, 6, 7, 11, 2); // bitstream decode (serial)
+    b.iconst(0);
+    b.store(8);
+    forTo(b, 3, 0, 0, 1, [&] {   // per block: the STL
+        b.load(3);
+        b.iconst(64);
+        b.emit(Bc::IMUL);
+        b.store(5);
+        // dequantize
+        forToConst(b, 4, 0, 64, 11, 1, [&] {
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.load(2);
+            b.load(4);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::IMUL);
+            b.emit(Bc::IASTORE);
+        });
+        // butterfly rows: c[2k] = a+b, c[2k+1] = a-b (4 sweeps)
+        forToConst(b, 4, 0, 32, 11, 1, [&] {
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.iconst(1);
+            b.emit(Bc::ISHL);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.store(6);
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.iconst(1);
+            b.emit(Bc::ISHL);
+            b.iconst(1);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.store(7);
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.iconst(1);
+            b.emit(Bc::ISHL);
+            b.emit(Bc::IADD);
+            b.load(6);
+            b.load(7);
+            b.emit(Bc::IADD);
+            b.iconst(3);
+            b.emit(Bc::ISHR);
+            b.emit(Bc::IASTORE);
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.iconst(1);
+            b.emit(Bc::ISHL);
+            b.iconst(1);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IADD);
+            b.load(6);
+            b.load(7);
+            b.emit(Bc::ISUB);
+            b.iconst(3);
+            b.emit(Bc::ISHR);
+            b.emit(Bc::IASTORE);
+        });
+        b.load(1);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        foldChecksum(b, 8);
+    });
+    b.load(8);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+
+    return make("decJpeg", "multimedia", "Image decoder",
+                std::move(p), {700}, {96});
+}
+
+/** encJpeg: forward transform + quantization + zigzag-ish gather. */
+Workload
+encJpeg()
+{
+    BcProgram p;
+    // locals: 0=nblocks 1=pix 2=out 3=blk 4=k 5=base 6=acc 7=t
+    //         8=sum 9=seed 10=kl 11=scr
+    BcBuilder b("main", 1, 12, true);
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.iconst(1357);
+    b.store(9);
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.store(10);
+    forTo(b, 4, 0, 10, 1, [&] {
+        b.load(1);
+        b.load(4);
+        hashOfIndex(b, 4);
+        b.iconst(255);
+        b.emit(Bc::IAND);
+        b.emit(Bc::IASTORE);
+    });
+    serialMix(b, 1, 10, 6, 7, 11, 2); // rate-control scan (serial)
+    b.iconst(0);
+    b.store(8);
+    forTo(b, 3, 0, 0, 1, [&] {   // per block: the STL
+        b.load(3);
+        b.iconst(64);
+        b.emit(Bc::IMUL);
+        b.store(5);
+        // "DCT": each output k = weighted sum of 8 pixels in its row
+        forToConst(b, 4, 0, 64, 11, 1, [&] {
+            b.iconst(0);
+            b.store(6);
+            // inner unrolled 8-tap accumulation
+            for (int t = 0; t < 8; ++t) {
+                b.load(6);
+                b.load(1);
+                b.load(5);
+                b.load(4);
+                b.iconst(~7);
+                b.emit(Bc::IAND);
+                b.emit(Bc::IADD);
+                b.iconst(t);
+                b.emit(Bc::IADD);
+                b.emit(Bc::IALOAD);
+                b.iconst(1 + ((t * 5 + 3) & 7));
+                b.emit(Bc::IMUL);
+                b.emit(Bc::IADD);
+                b.store(6);
+            }
+            // quantize and store
+            b.load(2);
+            b.load(5);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.load(6);
+            b.iconst(4);
+            b.emit(Bc::ISHR);
+            b.emit(Bc::IASTORE);
+        });
+        b.load(2);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        foldChecksum(b, 8);
+    });
+    b.load(8);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+
+    return make("encJpeg", "multimedia", "Image compression",
+                std::move(p), {300}, {44});
+}
+
+/**
+ * h263dec: motion compensation — copy a predicted 8x8 region from
+ * the reference frame at a per-macroblock motion vector and add the
+ * residual.
+ */
+Workload
+h263dec()
+{
+    BcProgram p;
+    // locals: 0=nmb 1=ref 2=cur 3=res 4=mb 5=k 6=mv 7=src 8=sum
+    //         9=seed 10=kl 11=fsize 12=scr
+    BcBuilder b("main", 1, 13, true);
+    b.iconst(4096);
+    b.store(11);
+    b.load(11);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(3);
+    b.iconst(8080);
+    b.store(9);
+    forTo(b, 5, 0, 11, 1, [&] {
+        b.load(1);
+        b.load(5);
+        hashOfIndex(b, 5);
+        b.iconst(255);
+        b.emit(Bc::IAND);
+        b.emit(Bc::IASTORE);
+    });
+    b.load(0);
+    b.iconst(64);
+    b.emit(Bc::IMUL);
+    b.store(10);
+    forTo(b, 5, 0, 10, 1, [&] {
+        b.load(3);
+        b.load(5);
+        hashOfIndex(b, 5, 9);
+        b.iconst(31);
+        b.emit(Bc::IAND);
+        b.iconst(16);
+        b.emit(Bc::ISUB);
+        b.emit(Bc::IASTORE);
+    });
+    serialMix(b, 3, 10, 6, 7, 12, 2); // residual entropy decode (serial)
+    b.iconst(0);
+    b.store(8);
+    forTo(b, 4, 0, 0, 1, [&] {   // per macroblock: the STL
+        // mv derived from the macroblock index (deterministic)
+        b.load(4);
+        b.iconst(2654435761u & 0x7fffffff);
+        b.emit(Bc::IMUL);
+        b.iconst(16);
+        b.emit(Bc::IUSHR);
+        b.iconst(4031);
+        b.emit(Bc::IAND);
+        b.store(6);
+        forToConst(b, 5, 0, 64, 12, 1, [&] {
+            // src = (mv + k*2) & 16383
+            b.load(6);
+            b.load(5);
+            b.iconst(1);
+            b.emit(Bc::ISHL);
+            b.emit(Bc::IADD);
+            b.iconst(4095);
+            b.emit(Bc::IAND);
+            b.store(7);
+            // cur[(mb*64+k) & 16383] = clamp(ref[src] + res[mb*64+k])
+            b.load(2);
+            b.load(4);
+            b.iconst(64);
+            b.emit(Bc::IMUL);
+            b.load(5);
+            b.emit(Bc::IADD);
+            b.load(1);
+            b.load(7);
+            b.emit(Bc::IALOAD);
+            b.load(3);
+            b.load(4);
+            b.iconst(64);
+            b.emit(Bc::IMUL);
+            b.load(5);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.emit(Bc::IADD);
+            b.iconst(255);
+            b.emit(Bc::IAND);
+            b.emit(Bc::IASTORE);
+        });
+        b.load(2);
+        b.load(4);
+        b.iconst(64);
+        b.emit(Bc::IMUL);
+        b.emit(Bc::IALOAD);
+        foldChecksum(b, 8);
+    });
+    b.load(8);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+
+    return make("h263dec", "multimedia", "Video decoder",
+                std::move(p), {220}, {32});
+}
+
+/**
+ * mpegVideo: block decoding with a rarely-updated quantizer scale —
+ * the occasional carried store causes the genuinely dynamic
+ * violations the paper reports for this benchmark.
+ */
+Workload
+mpegVideo()
+{
+    BcProgram p;
+    // locals: 0=nblk 1=coef 2=out 3=blk 4=k 5=base 6=qs 7=t 8=sum
+    //         9=seed 10=kl 11=scr
+    BcBuilder b("main", 1, 12, true);
+    b.load(0);
+    b.iconst(32);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(0);
+    b.iconst(32);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.iconst(4545);
+    b.store(9);
+    b.load(0);
+    b.iconst(32);
+    b.emit(Bc::IMUL);
+    b.store(10);
+    forTo(b, 4, 0, 10, 1, [&] {
+        b.load(1);
+        b.load(4);
+        hashOfIndex(b, 4);
+        b.emit(Bc::IASTORE);
+    });
+    serialMix(b, 1, 10, 6, 7, 11, 2); // VLC decode (serial)
+    b.iconst(8);
+    b.store(6);
+    b.iconst(0);
+    b.store(8);
+    forTo(b, 3, 0, 0, 1, [&] {   // per block: the STL
+        b.load(3);
+        b.iconst(32);
+        b.emit(Bc::IMUL);
+        b.store(5);
+        // Rare quantizer-scale update driven by the data.
+        auto noq = b.newLabel();
+        b.load(1);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        b.iconst(127);
+        b.emit(Bc::IAND);
+        b.iconst(3);
+        b.br(Bc::IF_ICMPNE, noq);
+        b.load(1);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        b.iconst(15);
+        b.emit(Bc::IAND);
+        b.iconst(2);
+        b.emit(Bc::IADD);
+        b.store(6);
+        b.bind(noq);
+        forToConst(b, 4, 0, 32, 11, 1, [&] {
+            b.load(2);
+            b.load(5);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.load(6);
+            b.emit(Bc::IMUL);
+            b.iconst(6);
+            b.emit(Bc::ISHR);
+            b.iconst(0xfff);
+            b.emit(Bc::IAND);
+            b.emit(Bc::IASTORE);
+        });
+        b.load(2);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        foldChecksum(b, 8);
+    });
+    b.load(8);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+
+    return make("mpegVideo", "multimedia", "Video decoder",
+                std::move(p), {700}, {100});
+}
+
+/**
+ * mp3: a serial bit-reservoir parse (large serial fraction), then a
+ * frame loop whose rare, long "intensity stereo" inner loop is the
+ * paper's multilevel STL decomposition target (§4.2.6).
+ */
+Workload
+mp3()
+{
+    BcProgram p;
+    // locals: 0=nframes 1=pcm 2=sb 3=fr 4=k 5=base 6=sum 7=seed
+    //         8=in-frame scratch 9=acc 10=state 11=parse-limit
+    //         12=init scratch 13=intensity sum
+    BcBuilder b("main", 1, 14, true);
+    b.load(0);
+    b.iconst(32);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.iconst(32);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    b.iconst(6066);
+    b.store(7);
+    // Serial phase: bit-reservoir parse — a dependent chain over the
+    // whole input (~40% of sequential time, Table 3 column i).
+    b.iconst(1);
+    b.store(10);
+    b.load(0);
+    b.iconst(20);
+    b.emit(Bc::IMUL);
+    b.store(11);
+    forTo(b, 4, 0, 11, 1, [&] {
+        b.load(10);
+        b.iconst(33025);
+        b.emit(Bc::IMUL);
+        b.load(4);
+        b.emit(Bc::IADD);
+        b.iconst(0xffffff);
+        b.emit(Bc::IAND);
+        b.store(10);
+    });
+    forToConst(b, 4, 0, 32, 12, 1, [&] {
+        b.load(2);
+        b.load(4);
+        hashOfIndex(b, 4);
+        b.iconst(2047);
+        b.emit(Bc::IAND);
+        b.emit(Bc::IASTORE);
+    });
+    b.iconst(0);
+    b.store(6);
+    forTo(b, 3, 0, 0, 1, [&] {   // frame loop: the outer STL
+        b.load(3);
+        b.iconst(32);
+        b.emit(Bc::IMUL);
+        b.store(5);
+        // Subband synthesis: 32 samples from the filter state.
+        forToConst(b, 4, 0, 32, 8, 1, [&] {
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.load(2);
+            b.load(4);
+            b.emit(Bc::IALOAD);
+            b.load(3);
+            b.load(4);
+            b.emit(Bc::IADD);
+            b.iconst(0x3ff);
+            b.emit(Bc::IAND);
+            b.emit(Bc::IMUL);
+            b.iconst(0xffffff);
+            b.emit(Bc::IAND);
+            b.emit(Bc::IASTORE);
+        });
+        // Rare, long intensity-stereo pass: the multilevel target.
+        auto noint = b.newLabel();
+        b.load(3);
+        b.iconst(7);
+        b.emit(Bc::IAND);
+        b.iconst(5);
+        b.br(Bc::IF_ICMPNE, noint);
+        b.iconst(0);
+        b.store(9);
+        forToConst(b, 4, 0, 160, 8, 1, [&] { // inner STL
+            b.load(9);
+            b.load(1);
+            b.load(5);
+            b.load(4);
+            b.iconst(31);
+            b.emit(Bc::IAND);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IALOAD);
+            b.load(4);
+            b.iconst(3);
+            b.emit(Bc::IMUL);
+            b.iconst(7);
+            b.emit(Bc::IADD);
+            b.emit(Bc::IMUL);
+            b.iconst(0xffffff);
+            b.emit(Bc::IAND);
+            b.emit(Bc::IADD);
+            b.store(9);
+        });
+        b.load(9);
+        foldChecksum(b, 13); // separate accumulator: keeps both
+                             // folds clean per-CPU reductions
+        b.bind(noint);
+        b.load(1);
+        b.load(5);
+        b.emit(Bc::IALOAD);
+        foldChecksum(b, 6);
+    });
+    b.load(6);
+    b.load(13);
+    b.emit(Bc::IADD);
+    b.load(10);
+    b.emit(Bc::IXOR);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+
+    return make("mp3", "multimedia", "mp3 decoder", std::move(p),
+                {480}, {64});
+}
+
+} // namespace
+
+std::vector<Workload>
+mediaWorkloads()
+{
+    return {decJpeg(), encJpeg(), h263dec(), mpegVideo(), mp3()};
+}
+
+} // namespace wl
+} // namespace jrpm

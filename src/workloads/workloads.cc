@@ -1,0 +1,40 @@
+#include "workloads.hh"
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+namespace wl
+{
+
+// Defined in integer_workloads.cc.
+bool integerManualVariant(const std::string &name, Workload &out);
+
+std::vector<Workload>
+allWorkloads()
+{
+    std::vector<Workload> all = integerWorkloads();
+    for (auto &w : fpWorkloads())
+        all.push_back(std::move(w));
+    for (auto &w : mediaWorkloads())
+        all.push_back(std::move(w));
+    return all;
+}
+
+Workload
+workloadByName(const std::string &name)
+{
+    for (auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+bool
+manualVariant(const std::string &name, Workload &out)
+{
+    return integerManualVariant(name, out);
+}
+
+} // namespace wl
+} // namespace jrpm

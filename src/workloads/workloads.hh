@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The benchmark suite: synthetic analogues of the 26 programs the
+ * Jrpm paper evaluates (Table 3) — jBYTEmark, SPECjvm98, Java Grande
+ * and internet applications — each engineered to reproduce the
+ * published loop structure, dependency pattern and buffer footprint
+ * of the original, plus the six manually-transformed variants of
+ * Table 4.
+ */
+
+#ifndef JRPM_WORKLOADS_WORKLOADS_HH
+#define JRPM_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/jrpm.hh"
+
+namespace jrpm
+{
+namespace wl
+{
+
+/** The full 26-benchmark suite, in Table 3 order. */
+std::vector<Workload> allWorkloads();
+
+/** The integer benchmarks (14). */
+std::vector<Workload> integerWorkloads();
+/** The floating-point benchmarks (7). */
+std::vector<Workload> fpWorkloads();
+/** The multimedia benchmarks (5). */
+std::vector<Workload> mediaWorkloads();
+
+/** One workload by its Table 3 name; panics if unknown. */
+Workload workloadByName(const std::string &name);
+
+/**
+ * The Table 4 manually-transformed variant of a benchmark, if one
+ * exists (NumHeapSort, Huffman, MipsSimulator, db, compress,
+ * monteCarlo).
+ * @return true and fills @p out when a variant exists.
+ */
+bool manualVariant(const std::string &name, Workload &out);
+
+} // namespace wl
+} // namespace jrpm
+
+#endif // JRPM_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the profile analyzer: speedup prediction and STL
+ * selection over loop nests (§3.1 heuristics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/analyzer.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+/** Construct a synthetic profile. */
+LoopProfile
+makeProfile(std::int32_t id, std::uint64_t iters, double thread_size,
+            std::uint64_t entries = 1)
+{
+    LoopProfile p;
+    p.loopId = id;
+    p.entries = entries;
+    p.iterations = iters;
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(iters, 64);
+         ++i)
+        p.threadSize.sample(thread_size);
+    // Scale the sum so coverage() reflects all iterations.
+    while (p.threadSize.count() < iters)
+        p.threadSize.sample(thread_size);
+    p.loadLines.sample(4);
+    p.storeLines.sample(2);
+    return p;
+}
+
+TEST(Analyzer, ParallelLoopPredictsNearLinearSpeedup)
+{
+    Analyzer an;
+    LoopProfile p = makeProfile(1, 5000, 400.0);
+    StlPrediction pred = an.predict(p);
+    EXPECT_TRUE(pred.eligible);
+    EXPECT_GT(pred.predictedSpeedup, 3.0);
+    EXPECT_LE(pred.predictedSpeedup, 4.0);
+}
+
+TEST(Analyzer, TightDependencySuppressesSpeedup)
+{
+    Analyzer an;
+    LoopProfile p = makeProfile(2, 5000, 400.0);
+    // Every thread consumes a value its predecessor produces at the
+    // very end: storeOffset 390, loadOffset 5, distance 1.
+    p.depThreads = p.iterations;
+    for (int i = 0; i < 64; ++i) {
+        p.arcDistance.sample(1.0);
+        p.arcStoreOffset.sample(390.0);
+        p.arcLoadOffset.sample(5.0);
+    }
+    StlPrediction pred = an.predict(p);
+    EXPECT_FALSE(pred.eligible);
+    EXPECT_LT(pred.predictedSpeedup, 1.3);
+}
+
+TEST(Analyzer, DistantArcsBarelyHurt)
+{
+    Analyzer an;
+    LoopProfile p = makeProfile(3, 5000, 400.0);
+    p.depThreads = p.iterations;
+    for (int i = 0; i < 64; ++i) {
+        p.arcDistance.sample(8.0);   // spans 8 iterations
+        p.arcStoreOffset.sample(390.0);
+        p.arcLoadOffset.sample(5.0);
+    }
+    StlPrediction pred = an.predict(p);
+    EXPECT_TRUE(pred.eligible);
+    EXPECT_GT(pred.predictedSpeedup, 2.0);
+}
+
+TEST(Analyzer, OverflowingLoopRejected)
+{
+    Analyzer an;
+    LoopProfile p = makeProfile(4, 5000, 2000.0);
+    p.overflowThreads = p.iterations / 2;
+    StlPrediction pred = an.predict(p);
+    EXPECT_FALSE(pred.eligible);
+    EXPECT_NE(pred.reason.find("overflow"), std::string::npos);
+}
+
+TEST(Analyzer, FewIterationsPerEntryRejected)
+{
+    Analyzer an;
+    LoopProfile p = makeProfile(5, 100, 400.0, /*entries=*/50);
+    StlPrediction pred = an.predict(p);
+    EXPECT_FALSE(pred.eligible);
+    EXPECT_NE(pred.reason.find("iterations per entry"),
+              std::string::npos);
+}
+
+TEST(Analyzer, TinyThreadsWithLateDependencyRejected)
+{
+    // The BitOps situation before the reset-able inductor rescue: a
+    // small loop body whose carried value is produced at the very end
+    // of each thread.
+    Analyzer an;
+    LoopProfile p = makeProfile(6, 5000, 6.0);
+    p.depThreads = p.iterations;
+    for (int i = 0; i < 64; ++i) {
+        p.arcDistance.sample(1.0);
+        p.arcStoreOffset.sample(5.8);
+        p.arcLoadOffset.sample(0.5);
+    }
+    StlPrediction pred = an.predict(p);
+    EXPECT_FALSE(pred.eligible);
+
+    // Tiny threads without the dependency remain modestly
+    // profitable — bounded by the commit-serialization floor.
+    LoopProfile free_p = makeProfile(7, 5000, 6.0);
+    StlPrediction free_pred = an.predict(free_p);
+    EXPECT_LT(free_pred.predictedSpeedup, 2.1);
+}
+
+TEST(Analyzer, SelectsInnerLoopWhenOuterOverflows)
+{
+    Analyzer an;
+    std::vector<LoopInfo> loops = {
+        {10, -1, 0}, // outer
+        {11, 10, 0}, // inner
+    };
+    std::map<std::int32_t, LoopProfile> profiles;
+    LoopProfile outer = makeProfile(10, 100, 40000.0);
+    outer.overflowThreads = 95;
+    LoopProfile inner = makeProfile(11, 10000, 380.0, 100);
+    profiles[10] = outer;
+    profiles[11] = inner;
+    auto sel = an.select(loops, profiles);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0].loopId, 11);
+}
+
+TEST(Analyzer, SelectsOuterLoopWhenItFits)
+{
+    Analyzer an;
+    std::vector<LoopInfo> loops = {
+        {10, -1, 0},
+        {11, 10, 0},
+    };
+    std::map<std::int32_t, LoopProfile> profiles;
+    // Outer: 100 iterations of 4000 cycles, fits buffers.
+    profiles[10] = makeProfile(10, 1000, 4000.0);
+    // Inner: small 40-cycle threads (high relative overhead).
+    profiles[11] = makeProfile(11, 100000, 38.0, 1000);
+    auto sel = an.select(loops, profiles);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0].loopId, 10);
+}
+
+TEST(Analyzer, SyncLockPlannedForFrequentShortLocalArc)
+{
+    Analyzer an;
+    std::vector<LoopInfo> loops = {{20, -1, 0}};
+    std::map<std::int32_t, LoopProfile> profiles;
+    LoopProfile p = makeProfile(20, 5000, 400.0);
+    p.depThreads = static_cast<std::uint64_t>(0.95 * p.iterations);
+    for (int i = 0; i < 64; ++i) {
+        p.arcDistance.sample(1.0);
+        p.arcStoreOffset.sample(30.0); // produced early
+        p.arcLoadOffset.sample(10.0);
+    }
+    p.arcSites[{true, 3}] = p.depThreads;
+    profiles[20] = p;
+    auto sel = an.select(loops, profiles);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_TRUE(sel[0].plan.syncLock);
+    EXPECT_EQ(sel[0].plan.syncLocalVar, 3);
+}
+
+TEST(Analyzer, MultilevelPlannedForRareInnerLoop)
+{
+    Analyzer an;
+    std::vector<LoopInfo> loops = {{30, -1, 0}, {31, 30, 0}};
+    std::map<std::int32_t, LoopProfile> profiles;
+    // Outer: 2000 iterations, 500-cycle threads.
+    profiles[30] = makeProfile(30, 2000, 500.0);
+    // Inner: entered rarely (40 entries over 2000 outer iterations)
+    // but with many iterations and real work when it runs.
+    profiles[31] = makeProfile(31, 4000, 300.0, 40);
+    auto sel = an.select(loops, profiles);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0].loopId, 30);
+    EXPECT_TRUE(sel[0].plan.multilevel);
+    EXPECT_EQ(sel[0].plan.multilevelInner, 31);
+}
+
+TEST(Analyzer, HoistingPlannedForRepeatedlyEnteredStl)
+{
+    Analyzer an;
+    std::vector<LoopInfo> loops = {{40, -1, 0}};
+    std::map<std::int32_t, LoopProfile> profiles;
+    profiles[40] = makeProfile(40, 2000, 500.0, /*entries=*/100);
+    auto sel = an.select(loops, profiles);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_TRUE(sel[0].plan.hoistHandlers);
+}
+
+TEST(Analyzer, IndependentNestsSelectedSeparately)
+{
+    Analyzer an;
+    std::vector<LoopInfo> loops = {{50, -1, 0}, {51, -1, 1}};
+    std::map<std::int32_t, LoopProfile> profiles;
+    profiles[50] = makeProfile(50, 5000, 400.0);
+    profiles[51] = makeProfile(51, 5000, 600.0);
+    auto sel = an.select(loops, profiles);
+    ASSERT_EQ(sel.size(), 2u);
+    // Sorted by coverage: loop 51 has more cycles.
+    EXPECT_EQ(sel[0].loopId, 51);
+    EXPECT_EQ(sel[1].loopId, 50);
+}
+
+TEST(Analyzer, NoDataNoSelection)
+{
+    Analyzer an;
+    std::vector<LoopInfo> loops = {{60, -1, 0}};
+    auto sel = an.select(loops, {});
+    EXPECT_TRUE(sel.empty());
+}
+
+} // namespace
+} // namespace jrpm

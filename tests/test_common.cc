@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the common utilities (stats, rng, formatting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strfmt("%05.1f", 2.25), "002.2");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(SampleStat, TracksMeanMinMax)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleStat, MergeCombinesStreams)
+{
+    SampleStat a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    b.sample(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+    SampleStat empty;
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+    a.merge(SampleStat());
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4);
+    h.sample(0.0);
+    h.sample(9.9);
+    h.sample(10.0);
+    h.sample(39.9);
+    h.sample(40.0);  // overflow bucket
+    h.sample(1000.0);
+    const auto &raw = h.raw();
+    EXPECT_EQ(raw[0], 2u);
+    EXPECT_EQ(raw[1], 1u);
+    EXPECT_EQ(raw[3], 1u);
+    EXPECT_EQ(raw[4], 2u);
+    EXPECT_EQ(h.summary().count(), 6u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+        const std::int32_t v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const float u = r.unit();
+        EXPECT_GE(u, 0.0f);
+        EXPECT_LT(u, 1.0f);
+    }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng r(99);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "23"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, ArityMismatchPanics)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace jrpm

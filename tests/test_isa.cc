@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the instruction set and the builder-assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+TEST(Asm, ForwardAndBackwardLabelsResolve)
+{
+    Asm a("m");
+    auto fwd = a.newLabel();
+    auto back = a.newLabel();
+    a.bind(back);
+    a.nop();                       // 0
+    a.branch(Op::BEQ, R_T0, R_T1, fwd);  // 1
+    a.jump(back);                  // 2
+    a.bind(fwd);
+    a.halt();                      // 3
+    NativeCode c = a.finish();
+    ASSERT_EQ(c.insts.size(), 4u);
+    EXPECT_EQ(c.insts[1].target, 3);
+    EXPECT_EQ(c.insts[2].target, 0);
+}
+
+TEST(Asm, LiExpandsSmallAndLargeConstants)
+{
+    Asm a("m");
+    a.li(R_T0, 5);
+    NativeCode small = a.finish();
+    ASSERT_EQ(small.insts.size(), 1u);
+    EXPECT_EQ(small.insts[0].op, Op::ADDIU);
+    EXPECT_EQ(small.insts[0].imm, 5);
+
+    Asm b("m2");
+    b.li(R_T0, 0x12345678);
+    NativeCode big = b.finish();
+    ASSERT_EQ(big.insts.size(), 2u);
+    EXPECT_EQ(big.insts[0].op, Op::LUI);
+    EXPECT_EQ(big.insts[0].imm, 0x1234);
+    EXPECT_EQ(big.insts[1].op, Op::ORI);
+    EXPECT_EQ(big.insts[1].imm, 0x5678);
+}
+
+TEST(Asm, CatchEntriesResolved)
+{
+    Asm a("m");
+    auto b0 = a.newLabel();
+    auto e0 = a.newLabel();
+    auto h0 = a.newLabel();
+    a.bind(b0);
+    a.nop();
+    a.nop();
+    a.bind(e0);
+    a.bind(h0);
+    a.halt();
+    a.addCatch(b0, e0, h0, -1);
+    NativeCode c = a.finish();
+    ASSERT_EQ(c.catches.size(), 1u);
+    EXPECT_EQ(c.catches[0].beginPc, 0);
+    EXPECT_EQ(c.catches[0].endPc, 2);
+    EXPECT_EQ(c.catches[0].handlerPc, 2);
+}
+
+TEST(Asm, SavedRegsRecorded)
+{
+    Asm a("m");
+    a.noteSavedReg(R_S0, -12);
+    a.noteSavedReg(R_S1, -16);
+    a.halt();
+    NativeCode c = a.finish();
+    ASSERT_EQ(c.savedRegs.size(), 2u);
+    EXPECT_EQ(c.savedRegs[0].first, R_S0);
+    EXPECT_EQ(c.savedRegs[1].second, -16);
+}
+
+TEST(AsmDeathTest, UnboundLabelPanics)
+{
+    Asm a("m");
+    auto l = a.newLabel();
+    a.jump(l);
+    EXPECT_DEATH(a.finish(), "unbound label");
+}
+
+TEST(AsmDeathTest, DoubleBindPanics)
+{
+    Asm a("m");
+    auto l = a.newLabel();
+    a.bind(l);
+    EXPECT_DEATH(a.bind(l), "bound twice");
+}
+
+TEST(Disassemble, CoversRepresentativeOpcodes)
+{
+    EXPECT_EQ(disassemble({Op::ADDU, R_T0, R_T1, R_T2, 0, 0}),
+              "addu $t0, $t1, $t2");
+    EXPECT_EQ(disassemble({Op::LW, R_S0, R_FP, 0, -12, 0}),
+              "lw $s0, -12($fp)");
+    EXPECT_EQ(disassemble({Op::SW, 0, R_FP, R_T1, 8, 0}),
+              "sw $t1, 8($fp)");
+    EXPECT_EQ(disassemble(
+        {Op::SCOP, 0, 0, 0,
+         static_cast<std::int32_t>(ScopCmd::EnableSpec), 0}),
+        "scop_cmd enable_spec");
+    EXPECT_EQ(disassemble(
+        {Op::MFC2, R_S1, 0, 0,
+         static_cast<std::int32_t>(Cp2Reg::Iteration), 0}),
+        "mfc2 $s1, iteration");
+    EXPECT_EQ(disassemble({Op::LWNV, R_T1, R_FP, 0, 0, 0}),
+              "lwnv $t1, 0($fp)");
+    EXPECT_EQ(disassemble({Op::SLOOP, 0, 0, 2, 7, 0}), "sloop 7, 2");
+}
+
+TEST(IsaPredicates, LoadStoreClassification)
+{
+    EXPECT_TRUE(isLoad(Op::LW));
+    EXPECT_TRUE(isLoad(Op::LWNV));
+    EXPECT_TRUE(isLoad(Op::LBU));
+    EXPECT_FALSE(isLoad(Op::SW));
+    EXPECT_TRUE(isStore(Op::SB));
+    EXPECT_FALSE(isStore(Op::ADDU));
+    EXPECT_FALSE(isStore(Op::LW));
+}
+
+TEST(NativeCode, DisassembleAllListsEveryInst)
+{
+    Asm a("loop");
+    a.li(R_T0, 1);
+    a.halt();
+    NativeCode c = a.finish();
+    const std::string d = c.disassembleAll();
+    EXPECT_NE(d.find("loop:"), std::string::npos);
+    EXPECT_NE(d.find("halt"), std::string::npos);
+}
+
+} // namespace
+} // namespace jrpm

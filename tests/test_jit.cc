@@ -1,0 +1,397 @@
+/**
+ * @file
+ * End-to-end tests of the microJIT: bytecode programs compiled in all
+ * three modes, executed on the machine with the VM runtime, checked
+ * for value-correctness and for the expected speculative behaviour
+ * (loop discovery, classification, violation-freedom of optimized
+ * decompositions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/jrpm.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+/** int main(int n): a = new int[n]; a[i] = 3i; return sum(a). */
+BcProgram
+buildFillAndSum()
+{
+    BcProgram p;
+    BcBuilder b("main", 1, 4, true);
+    // locals: 0=n 1=a 2=i 3=s
+    auto L1 = b.newLabel(), E1 = b.newLabel();
+    auto L2 = b.newLabel(), E2 = b.newLabel();
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.iconst(0);
+    b.store(2);
+    b.bind(L1);
+    b.load(2);
+    b.load(0);
+    b.br(Bc::IF_ICMPGE, E1);
+    b.load(1);
+    b.load(2);
+    b.load(2);
+    b.iconst(3);
+    b.emit(Bc::IMUL);
+    b.emit(Bc::IASTORE);
+    b.iinc(2, 1);
+    b.br(Bc::GOTO, L1);
+    b.bind(E1);
+    b.iconst(0);
+    b.store(3);
+    b.iconst(0);
+    b.store(2);
+    b.bind(L2);
+    b.load(2);
+    b.load(0);
+    b.br(Bc::IF_ICMPGE, E2);
+    b.load(3);
+    b.load(1);
+    b.load(2);
+    b.emit(Bc::IALOAD);
+    b.emit(Bc::IADD);
+    b.store(3);
+    b.iinc(2, 1);
+    b.br(Bc::GOTO, L2);
+    b.bind(E2);
+    b.load(3);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    return p;
+}
+
+/**
+ * int main(int n): carried chain s = ((s*7+i) then extra dependent
+ * stages) & mask — the whole iteration depends on the previous one.
+ */
+BcProgram
+buildCarriedChain(int extra_stages = 0)
+{
+    BcProgram p;
+    BcBuilder b("main", 1, 3, true);
+    // locals: 0=n 1=i 2=s
+    auto L = b.newLabel(), E = b.newLabel();
+    b.iconst(0);
+    b.store(1);
+    b.iconst(1);
+    b.store(2);
+    b.bind(L);
+    b.load(1);
+    b.load(0);
+    b.br(Bc::IF_ICMPGE, E);
+    b.load(2);
+    b.iconst(7);
+    b.emit(Bc::IMUL);
+    b.load(1);
+    b.emit(Bc::IADD);
+    for (int k = 0; k < extra_stages; ++k) {
+        b.iconst(3);
+        b.emit(Bc::IMUL);
+        b.iconst(k + 1);
+        b.emit(Bc::IADD);
+    }
+    b.iconst(0x7fffff);
+    b.emit(Bc::IAND);
+    b.store(2);
+    b.iinc(1, 1);
+    b.br(Bc::GOTO, L);
+    b.bind(E);
+    b.load(2);
+    b.emit(Bc::IRET);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    return p;
+}
+
+Word
+chainReference(Word n, int extra_stages)
+{
+    Word s = 1;
+    for (Word i = 0; i < n; ++i) {
+        s = s * 7 + i;
+        for (int k = 0; k < extra_stages; ++k)
+            s = s * 3 + static_cast<Word>(k + 1);
+        s &= 0x7fffff;
+    }
+    return s;
+}
+
+/** Method call + inlining: int sq(int) { return x*x; } summed. */
+BcProgram
+buildCallSum()
+{
+    BcProgram p;
+    {
+        BcBuilder sq("sq", 1, 1, true);
+        sq.load(0);
+        sq.load(0);
+        sq.emit(Bc::IMUL);
+        sq.emit(Bc::IRET);
+        p.methods.push_back(sq.finish());
+    }
+    {
+        BcBuilder b("main", 1, 3, true);
+        auto L = b.newLabel(), E = b.newLabel();
+        b.iconst(0);
+        b.store(1);
+        b.iconst(0);
+        b.store(2);
+        b.bind(L);
+        b.load(1);
+        b.load(0);
+        b.br(Bc::IF_ICMPGE, E);
+        b.load(2);
+        b.load(1);
+        b.emit(Bc::CALL, 0);
+        b.emit(Bc::IADD);
+        b.store(2);
+        b.iinc(1, 1);
+        b.br(Bc::GOTO, L);
+        b.bind(E);
+        b.load(2);
+        b.emit(Bc::IRET);
+        p.methods.push_back(b.finish());
+        p.entryMethod = 1;
+    }
+    return p;
+}
+
+/** Catching an out-of-bounds store. */
+BcProgram
+buildBoundsCatch()
+{
+    BcProgram p;
+    BcBuilder b("main", 1, 2, true);
+    auto tryB = b.newLabel(), tryE = b.newLabel();
+    auto handler = b.newLabel(), out = b.newLabel();
+    b.iconst(8);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.bind(tryB);
+    b.load(1);
+    b.load(0);       // index from the argument (out of range)
+    b.iconst(42);
+    b.emit(Bc::IASTORE);
+    b.bind(tryE);
+    b.iconst(1);
+    b.br(Bc::GOTO, out);
+    b.bind(handler);
+    b.emit(Bc::POP); // exception value
+    b.iconst(2);
+    b.bind(out);
+    b.emit(Bc::IRET);
+    b.addCatch(tryB, tryE, handler, 1 /* bounds */);
+    p.methods.push_back(b.finish());
+    p.entryMethod = 0;
+    return p;
+}
+
+Workload
+makeWorkload(std::string name, BcProgram prog,
+             std::vector<Word> args)
+{
+    Workload w;
+    w.name = std::move(name);
+    w.category = "integer";
+    w.program = std::move(prog);
+    w.mainArgs = std::move(args);
+    return w;
+}
+
+Word
+expectedFillSum(Word n)
+{
+    return 3 * n * (n - 1) / 2;
+}
+
+TEST(JitPlain, FillAndSumComputesCorrectly)
+{
+    JrpmSystem sys(makeWorkload("fillsum", buildFillAndSum(), {100}));
+    RunOutcome out = sys.runSequential({100}, false, nullptr);
+    ASSERT_TRUE(out.halted);
+    EXPECT_FALSE(out.uncaught);
+    EXPECT_EQ(out.exitValue, expectedFillSum(100));
+}
+
+TEST(JitPlain, CarriedChainComputesCorrectly)
+{
+    JrpmSystem sys(makeWorkload("chain", buildCarriedChain(), {50}));
+    RunOutcome out = sys.runSequential({50}, false, nullptr);
+    ASSERT_TRUE(out.halted);
+    EXPECT_EQ(out.exitValue, chainReference(50, 0));
+}
+
+TEST(JitPlain, CallsAndInlining)
+{
+    Word expect = 0;
+    for (Word i = 0; i < 20; ++i)
+        expect += i * i;
+
+    JrpmSystem sys(makeWorkload("callsum", buildCallSum(), {20}));
+    RunOutcome out = sys.runSequential({20}, false, nullptr);
+    ASSERT_TRUE(out.halted);
+    EXPECT_EQ(out.exitValue, expect);
+
+    // With inlining disabled the result must be identical.
+    JrpmConfig cfg;
+    cfg.jit.inlineSmallMethods = false;
+    JrpmSystem sys2(makeWorkload("callsum", buildCallSum(), {20}),
+                    cfg);
+    RunOutcome out2 = sys2.runSequential({20}, false, nullptr);
+    EXPECT_EQ(out2.exitValue, expect);
+    // Inlining removes the call: strictly fewer executed
+    // instructions.
+    EXPECT_LT(out.insts, out2.insts);
+}
+
+TEST(JitPlain, BoundsExceptionCaught)
+{
+    JrpmSystem sys(makeWorkload("bounds", buildBoundsCatch(), {99}));
+    RunOutcome out = sys.runSequential({99}, false, nullptr);
+    ASSERT_TRUE(out.halted);
+    EXPECT_FALSE(out.uncaught);
+    EXPECT_EQ(out.exitValue, 2u); // handler path
+
+    RunOutcome ok = sys.runSequential({3}, false, nullptr);
+    EXPECT_EQ(ok.exitValue, 1u); // in-bounds path
+}
+
+TEST(JitProfiling, LoopsDiscoveredAndProfiled)
+{
+    JrpmSystem sys(makeWorkload("fillsum", buildFillAndSum(), {200}));
+    auto profiles = sys.profileOnly();
+    // Two top-level loops.
+    ASSERT_EQ(profiles.size(), 2u);
+    for (const auto &[id, prof] : profiles) {
+        EXPECT_EQ(prof.iterations, 200u);
+        EXPECT_EQ(prof.entries, 1u);
+        EXPECT_GT(prof.threadSize.mean(), 5.0);
+    }
+    // The annotated run still computes the right answer.
+    TestProfiler prof;
+    RunOutcome out = sys.runSequential({200}, true, &prof);
+    EXPECT_EQ(out.exitValue, expectedFillSum(200));
+}
+
+TEST(JitProfiling, CarriedDependencySeenByTest)
+{
+    JrpmSystem sys(makeWorkload("chain", buildCarriedChain(), {300}));
+    auto profiles = sys.profileOnly();
+    ASSERT_EQ(profiles.size(), 1u);
+    const LoopProfile &p = profiles.begin()->second;
+    EXPECT_GT(p.depFrequency(), 0.9);
+    EXPECT_DOUBLE_EQ(p.arcDistance.mean(), 1.0);
+    ArcSite site;
+    double frac;
+    ASSERT_TRUE(p.dominantArcSite(site, frac));
+    EXPECT_TRUE(site.isLocal);
+    EXPECT_EQ(localVarSlotOf(static_cast<std::int32_t>(site.id)),
+              2u); // local 's'
+}
+
+TEST(JitTls, FullPipelineSpeedsUpParallelLoops)
+{
+    Workload w = makeWorkload("fillsum", buildFillAndSum(), {600});
+    JrpmSystem sys(w);
+    JrpmReport rep = sys.run();
+    ASSERT_TRUE(rep.tls.halted);
+    EXPECT_TRUE(rep.outputsMatch);
+    EXPECT_EQ(rep.tls.exitValue, expectedFillSum(600));
+    ASSERT_GE(rep.selections.size(), 1u);
+    EXPECT_GT(rep.actualSpeedup, 1.4)
+        << "seq=" << rep.seqMain.cycles << " tls=" << rep.tls.cycles;
+    // The fill loop uses a non-communicating inductor and the sum
+    // loop a reduction: no RAW violations at all.
+    EXPECT_EQ(rep.tls.stats.violations, 0u);
+    // Profiling slowdown stays modest (paper: 7.8% average).
+    EXPECT_LT(rep.profilingSlowdown, 1.35);
+}
+
+TEST(JitTls, CarriedChainStaysCorrectUnderTls)
+{
+    // Force selection past the analyzer by requesting the loop
+    // directly: even a serializing loop must produce the sequential
+    // answer under TLS.
+    Workload w = makeWorkload("chain", buildCarriedChain(), {120});
+    JrpmSystem sys(w);
+    const auto &loops = sys.jit().loopInfos();
+    ASSERT_EQ(loops.size(), 1u);
+    SelectedStl sel;
+    sel.loopId = loops[0].loopId;
+    RunOutcome out = sys.runTls({120}, {sel});
+    ASSERT_TRUE(out.halted);
+    EXPECT_EQ(out.exitValue, chainReference(120, 0));
+    // The chain serializes: violations and/or heavy waiting occur.
+    EXPECT_GT(out.stats.violations + out.stats.commits, 0u);
+}
+
+TEST(JitTls, AnalyzerRejectsSerializingChain)
+{
+    // A long fully-dependent chain: the producing store lands at the
+    // very end of each thread, so the predicted speedup collapses
+    // and Jrpm leaves the loop sequential.
+    Workload w =
+        makeWorkload("chain", buildCarriedChain(10), {2000});
+    JrpmSystem sys(w);
+    auto sels = sys.selectOnly();
+    EXPECT_TRUE(sels.empty());
+}
+
+TEST(JitTls, InductorAblationCommunicatesAndStillCorrect)
+{
+    // §4.2.2: without the non-communicating inductor the loop still
+    // runs correctly but with violations/serialization.
+    Workload w = makeWorkload("fillsum", buildFillAndSum(), {400});
+    JrpmConfig cfg;
+    cfg.jit.optLocalInductors = false;
+    cfg.jit.optReductions = false;
+    JrpmSystem sys(w, cfg);
+    const auto &loops = sys.jit().loopInfos();
+    ASSERT_GE(loops.size(), 2u);
+    std::vector<SelectedStl> sels;
+    for (const auto &l : loops) {
+        SelectedStl s;
+        s.loopId = l.loopId;
+        sels.push_back(s);
+    }
+    RunOutcome out = sys.runTls({400}, sels);
+    ASSERT_TRUE(out.halted);
+    EXPECT_EQ(out.exitValue, expectedFillSum(400));
+    EXPECT_GT(out.stats.violations, 0u);
+
+    // With the optimization on, the same selections run cleanly and
+    // faster.
+    JrpmSystem sys2(w);
+    std::vector<SelectedStl> sels2;
+    for (const auto &l : sys2.jit().loopInfos()) {
+        SelectedStl s;
+        s.loopId = l.loopId;
+        sels2.push_back(s);
+    }
+    RunOutcome out2 = sys2.runTls({400}, sels2);
+    EXPECT_EQ(out2.exitValue, expectedFillSum(400));
+    EXPECT_LT(out2.cycles, out.cycles);
+}
+
+TEST(JitTls, ZeroIterationAndOneIterationLoops)
+{
+    Workload w = makeWorkload("fillsum", buildFillAndSum(), {600});
+    JrpmSystem sys(w);
+    auto sels = sys.selectOnly();
+    ASSERT_GE(sels.size(), 1u);
+    for (Word n : {0u, 1u, 2u, 5u}) {
+        RunOutcome out = sys.runTls({n}, sels);
+        ASSERT_TRUE(out.halted) << "n=" << n;
+        EXPECT_EQ(out.exitValue, expectedFillSum(n)) << "n=" << n;
+    }
+}
+
+} // namespace
+} // namespace jrpm

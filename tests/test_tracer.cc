@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit tests for the TEST profiling hardware model: dependency-arc
+ * detection, buffer accounting, bank allocation, and the integration
+ * with annotated sequential execution on the machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tls/machine.hh"
+#include "tracer/test_profiler.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+// -------------------------------------------------------------------
+// Direct-drive tests: feed the profiler synthetic event streams.
+// -------------------------------------------------------------------
+
+TEST(Tracer, DetectsDistanceOneArc)
+{
+    TestProfiler t;
+    t.onLoopEntry(1, 100);
+    // Iteration 0: store to 0x1000 at t=110.
+    t.onHeapStore(0x1000, 110);
+    t.onLoopIteration(1, 120);
+    // Iteration 1: load 0x1000 at t=125 -> arc distance 1.
+    t.onHeapLoad(0x1000, 125, 77);
+    t.onLoopIteration(1, 140);
+    t.onLoopExit(1, 141);
+
+    const LoopProfile &p = t.profiles().at(1);
+    EXPECT_EQ(p.iterations, 2u);
+    EXPECT_EQ(p.depThreads, 1u);
+    EXPECT_DOUBLE_EQ(p.arcDistance.mean(), 1.0);
+    // Store offset within producer thread: 110 - 100 = 10.
+    EXPECT_DOUBLE_EQ(p.arcStoreOffset.mean(), 10.0);
+    // Load offset within consumer thread: 125 - 120 = 5.
+    EXPECT_DOUBLE_EQ(p.arcLoadOffset.mean(), 5.0);
+    ArcSite site;
+    double frac;
+    ASSERT_TRUE(p.dominantArcSite(site, frac));
+    EXPECT_FALSE(site.isLocal);
+    EXPECT_EQ(site.id, 77u);
+    EXPECT_DOUBLE_EQ(frac, 1.0);
+}
+
+TEST(Tracer, IntraThreadStoreLoadIsNotAnArc)
+{
+    TestProfiler t;
+    t.onLoopEntry(1, 100);
+    t.onHeapStore(0x1000, 110);
+    t.onHeapLoad(0x1000, 115, 1); // same thread: no arc
+    t.onLoopIteration(1, 120);
+    t.onLoopExit(1, 121);
+    EXPECT_EQ(t.profiles().at(1).depThreads, 0u);
+}
+
+TEST(Tracer, StoresBeforeLoopEntryIgnored)
+{
+    TestProfiler t;
+    t.onHeapStore(0x1000, 50); // before the loop
+    t.onLoopEntry(1, 100);
+    t.onHeapLoad(0x1000, 110, 1);
+    t.onLoopIteration(1, 120);
+    t.onLoopExit(1, 121);
+    EXPECT_EQ(t.profiles().at(1).depThreads, 0u);
+}
+
+TEST(Tracer, CriticalArcIsSmallestDistance)
+{
+    TestProfiler t;
+    t.onLoopEntry(1, 0);
+    t.onHeapStore(0x1000, 5);    // iter 0
+    t.onLoopIteration(1, 10);
+    t.onHeapStore(0x2000, 15);   // iter 1
+    t.onLoopIteration(1, 20);
+    // Iter 2 loads both: 0x1000 is distance 2, 0x2000 distance 1.
+    t.onHeapLoad(0x1000, 22, 1);
+    t.onHeapLoad(0x2000, 24, 2);
+    t.onLoopIteration(1, 30);
+    t.onLoopExit(1, 31);
+    const LoopProfile &p = t.profiles().at(1);
+    EXPECT_EQ(p.depThreads, 1u);
+    EXPECT_DOUBLE_EQ(p.arcDistance.mean(), 1.0);
+    ArcSite site;
+    double frac;
+    ASSERT_TRUE(p.dominantArcSite(site, frac));
+    EXPECT_EQ(site.id, 2u);
+}
+
+TEST(Tracer, LocalVariableArcsTracked)
+{
+    TestProfiler t;
+    t.onLoopEntry(3, 0);
+    t.onLocalStore(9, 5);
+    t.onLoopIteration(3, 10);
+    t.onLocalLoad(9, 12);
+    t.onLoopIteration(3, 20);
+    t.onLoopExit(3, 21);
+    const LoopProfile &p = t.profiles().at(3);
+    EXPECT_EQ(p.depThreads, 1u);
+    ArcSite site;
+    double frac;
+    ASSERT_TRUE(p.dominantArcSite(site, frac));
+    EXPECT_TRUE(site.isLocal);
+    EXPECT_EQ(site.id, 9u);
+}
+
+TEST(Tracer, NestedLoopsProfiledConcurrently)
+{
+    TestProfiler t;
+    t.onLoopEntry(1, 0);           // outer
+    for (int i = 0; i < 3; ++i) {
+        Cycle base = 10 + 100 * i;
+        t.onLoopEntry(2, base);    // inner (first entry allocates)
+        for (int j = 0; j < 4; ++j) {
+            t.onHeapStore(0x5000 + 4 * j, base + 10 * j + 5);
+            t.onLoopIteration(2, base + 10 * j + 10);
+        }
+        t.onLoopExit(2, base + 50);
+        t.onLoopIteration(1, base + 60);
+    }
+    t.onLoopExit(1, 500);
+    EXPECT_EQ(t.profiles().at(1).iterations, 3u);
+    EXPECT_EQ(t.profiles().at(2).iterations, 12u);
+    EXPECT_EQ(t.profiles().at(2).entries, 3u);
+}
+
+TEST(Tracer, LoadLineCountingDedupsWithinThread)
+{
+    TestProfiler t;
+    t.onLoopEntry(1, 0);
+    // Thread 0 touches 3 distinct lines, one of them twice.
+    t.onHeapLoad(0x1000, 1, 1);
+    t.onHeapLoad(0x1004, 2, 1); // same line
+    t.onHeapLoad(0x1020, 3, 1);
+    t.onHeapLoad(0x1040, 4, 1);
+    t.onLoopIteration(1, 10);
+    t.onLoopExit(1, 11);
+    EXPECT_DOUBLE_EQ(t.profiles().at(1).loadLines.mean(), 3.0);
+}
+
+TEST(Tracer, OverflowFlaggedBeyondStoreBufferLimit)
+{
+    TracerConfig cfg;
+    cfg.storeBufferLines = 4;
+    TestProfiler t(cfg);
+    t.onLoopEntry(1, 0);
+    for (Addr line = 0; line < 6; ++line)
+        t.onHeapStore(0x1000 + line * 32, 1 + line);
+    t.onLoopIteration(1, 10);
+    // Second thread stays small.
+    t.onHeapStore(0x1000, 12);
+    t.onLoopIteration(1, 20);
+    t.onLoopExit(1, 21);
+    const LoopProfile &p = t.profiles().at(1);
+    EXPECT_EQ(p.overflowThreads, 1u);
+    EXPECT_NEAR(p.overflowFrequency(), 0.5, 1e-9);
+}
+
+TEST(Tracer, BankExhaustionSkipsExtraLoops)
+{
+    TracerConfig cfg;
+    cfg.numBanks = 2;
+    cfg.allowBankStealing = false;
+    TestProfiler t(cfg);
+    t.onLoopEntry(1, 0);
+    t.onLoopEntry(2, 1);
+    t.onLoopEntry(3, 2); // no bank left
+    t.onLoopIteration(3, 5);
+    t.onLoopExit(3, 6);
+    t.onLoopExit(2, 7);
+    t.onLoopExit(1, 8);
+    EXPECT_EQ(t.profiles().at(3).skippedEntries, 1u);
+    EXPECT_EQ(t.profiles().at(3).iterations, 0u);
+}
+
+TEST(Tracer, BankStolenFromOverflowingOuterLoop)
+{
+    TracerConfig cfg;
+    cfg.numBanks = 1;
+    cfg.storeBufferLines = 2;
+    TestProfiler t(cfg);
+    t.onLoopEntry(1, 0);
+    // Make loop 1 overflow on ≥32 iterations.
+    Cycle now = 1;
+    for (int i = 0; i < 40; ++i) {
+        for (Addr line = 0; line < 4; ++line)
+            t.onHeapStore(0x1000 + line * 32, now++);
+        t.onLoopIteration(1, now++);
+    }
+    // Inner loop arrives; the only bank belongs to hopeless loop 1.
+    t.onLoopEntry(2, now);
+    t.onHeapStore(0x9000, now + 1);
+    t.onLoopIteration(2, now + 2);
+    t.onLoopExit(2, now + 3);
+    t.onLoopExit(1, now + 4);
+    EXPECT_EQ(t.profiles().at(2).iterations, 1u);
+    EXPECT_GT(t.profiles().at(1).overflowThreads, 30u);
+}
+
+TEST(Tracer, EnoughDataHeuristics)
+{
+    TestProfiler t;
+    t.onLoopEntry(1, 0);
+    Cycle now = 1;
+    for (int i = 0; i < 999; ++i)
+        t.onLoopIteration(1, now++);
+    t.onLoopExit(1, now);
+    EXPECT_FALSE(t.enoughData(1));
+    t.onLoopEntry(1, now + 1);
+    t.onLoopIteration(1, now + 2);
+    t.onLoopExit(1, now + 3);
+    EXPECT_TRUE(t.enoughData(1));
+    EXPECT_TRUE(t.enoughData());
+}
+
+TEST(Tracer, ResetForgetsEverything)
+{
+    TestProfiler t;
+    t.onLoopEntry(1, 0);
+    t.onLoopIteration(1, 5);
+    t.onLoopExit(1, 6);
+    EXPECT_EQ(t.profiles().size(), 1u);
+    t.reset();
+    EXPECT_TRUE(t.profiles().empty());
+}
+
+// -------------------------------------------------------------------
+// Integration: annotated program on the machine drives the profiler.
+// -------------------------------------------------------------------
+
+TEST(TracerIntegration, AnnotatedLoopProfiledOnMachine)
+{
+    SystemConfig mcfg;
+    mcfg.memBytes = 1u << 20;
+    Machine m(mcfg);
+    TestProfiler prof;
+    m.setProfiler(&prof);
+
+    // for (i = 0; i < n; ++i) sum += a[i]; with annotations, and the
+    // carried local 'sum' annotated as variable 5.
+    Asm a("annotated");
+    auto TOP = a.newLabel();
+    auto EXIT = a.newLabel();
+    a.move(R_T0, R_ZERO);     // i
+    a.move(R_V0, R_ZERO);     // sum
+    a.sloop(42, 1);
+    a.bind(TOP);
+    a.branch(Op::BGE, R_T0, R_A1, EXIT);
+    a.aluRI(Op::SLL, R_T1, R_T0, 2);
+    a.aluRR(Op::ADDU, R_T1, R_T1, R_A0);
+    a.load(Op::LW, R_T2, R_T1, 0);
+    a.lwlann(5);                         // read of carried 'sum'
+    a.aluRR(Op::ADDU, R_V0, R_V0, R_T2);
+    a.swlann(5);                         // write of carried 'sum'
+    a.aluRI(Op::ADDIU, R_T0, R_T0, 1);
+    a.eoi(42);
+    a.jump(TOP);
+    a.bind(EXIT);
+    a.eloop(42);
+    a.jr(R_RA);
+    std::uint32_t id = m.codeSpace().install(a.finish());
+
+    const int n = 64;
+    for (int i = 0; i < n; ++i)
+        m.memory().writeWord(0x1000 + 4 * i, 2);
+    m.start(id, {0x1000, n}, 0x80000);
+    ASSERT_TRUE(m.run(10'000'000));
+    EXPECT_EQ(m.exitValue(), static_cast<Word>(2 * n));
+
+    ASSERT_EQ(prof.profiles().count(42), 1u);
+    const LoopProfile &p = prof.profiles().at(42);
+    EXPECT_EQ(p.iterations, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(p.entries, 1u);
+    EXPECT_GT(p.threadSize.mean(), 4.0);
+    // The carried local dependency is seen in (almost) every thread.
+    EXPECT_GT(p.depFrequency(), 0.9);
+    ArcSite site;
+    double frac;
+    ASSERT_TRUE(p.dominantArcSite(site, frac));
+    EXPECT_TRUE(site.isLocal);
+    EXPECT_EQ(site.id, 5u);
+    EXPECT_DOUBLE_EQ(p.arcDistance.mean(), 1.0);
+}
+
+TEST(TracerIntegration, AnnotationOverheadIsSmall)
+{
+    SystemConfig mcfg;
+    mcfg.memBytes = 1u << 20;
+
+    auto build = [](Machine &m, bool annotated) {
+        Asm a("loop");
+        auto TOP = a.newLabel();
+        auto EXIT = a.newLabel();
+        a.move(R_T0, R_ZERO);
+        if (annotated)
+            a.sloop(1, 0);
+        a.bind(TOP);
+        a.branch(Op::BGE, R_T0, R_A1, EXIT);
+        for (int k = 0; k < 20; ++k)
+            a.aluRI(Op::ADDIU, R_T5, R_T5, 1);
+        a.aluRI(Op::ADDIU, R_T0, R_T0, 1);
+        if (annotated)
+            a.eoi(1);
+        a.jump(TOP);
+        a.bind(EXIT);
+        if (annotated)
+            a.eloop(1);
+        a.jr(R_RA);
+        return m.codeSpace().install(a.finish());
+    };
+
+    Machine plain(mcfg), prof(mcfg);
+    TestProfiler t;
+    prof.setProfiler(&t);
+    std::uint32_t p1 = build(plain, false);
+    std::uint32_t p2 = build(prof, true);
+    plain.start(p1, {0, 500}, 0x80000);
+    prof.start(p2, {0, 500}, 0x80000);
+    ASSERT_TRUE(plain.run(10'000'000));
+    ASSERT_TRUE(prof.run(10'000'000));
+    const double slowdown = static_cast<double>(prof.now()) /
+                            static_cast<double>(plain.now());
+    // One eoi per 22-instruction iteration: ~5% — same order as the
+    // paper's 7.8% average profiling overhead.
+    EXPECT_LT(slowdown, 1.15);
+    EXPECT_GT(slowdown, 1.0);
+}
+
+} // namespace
+} // namespace jrpm

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests over the 26-benchmark suite: every program verifies, runs to
+ * completion sequentially, and — the central property of the whole
+ * system — produces bit-identical results under speculative
+ * execution with the decompositions TEST selects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+JrpmConfig
+quickConfig()
+{
+    JrpmConfig cfg;
+    cfg.maxCycles = 400'000'000ull;
+    return cfg;
+}
+
+TEST(WorkloadSuite, HasTwentySixBenchmarks)
+{
+    auto all = wl::allWorkloads();
+    EXPECT_EQ(all.size(), 26u);
+    EXPECT_EQ(wl::integerWorkloads().size(), 14u);
+    EXPECT_EQ(wl::fpWorkloads().size(), 7u);
+    EXPECT_EQ(wl::mediaWorkloads().size(), 5u);
+}
+
+TEST(WorkloadSuite, AllProgramsVerify)
+{
+    for (const auto &w : wl::allWorkloads()) {
+        const std::string err = verify(w.program);
+        EXPECT_EQ(err, "") << w.name;
+    }
+}
+
+TEST(WorkloadSuite, LookupByName)
+{
+    Workload w = wl::workloadByName("Huffman");
+    EXPECT_EQ(w.name, "Huffman");
+    EXPECT_EQ(w.category, "integer");
+}
+
+TEST(WorkloadSuite, ManualVariantsExistForTableFour)
+{
+    const char *names[] = {"NumHeapSort", "Huffman", "MipsSimulator",
+                           "db", "compress", "monteCarlo"};
+    for (const char *n : names) {
+        Workload v;
+        EXPECT_TRUE(wl::manualVariant(n, v)) << n;
+        EXPECT_EQ(verify(v.program), "") << v.name;
+    }
+    Workload v;
+    EXPECT_FALSE(wl::manualVariant("IDEA", v));
+}
+
+/** Sequential execution completes and is deterministic. */
+TEST(WorkloadSuite, SequentialRunsAreDeterministic)
+{
+    for (const auto &w : wl::allWorkloads()) {
+        JrpmSystem sys(w, quickConfig());
+        RunOutcome a =
+            sys.runSequential(w.profileArgs.empty() ? w.mainArgs
+                                                    : w.profileArgs,
+                              false, nullptr);
+        ASSERT_TRUE(a.halted) << w.name;
+        ASSERT_FALSE(a.uncaught) << w.name;
+        RunOutcome b =
+            sys.runSequential(w.profileArgs.empty() ? w.mainArgs
+                                                    : w.profileArgs,
+                              false, nullptr);
+        EXPECT_EQ(a.exitValue, b.exitValue) << w.name;
+        EXPECT_EQ(a.cycles, b.cycles) << w.name;
+    }
+}
+
+/**
+ * The headline property: for every benchmark, the full Jrpm pipeline
+ * (profile -> select -> recompile -> speculate) must reproduce the
+ * sequential results exactly.
+ */
+class WorkloadTls : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTls, TlsMatchesSequential)
+{
+    Workload w = wl::workloadByName(GetParam());
+    // Keep the test fast: profile input everywhere.
+    w.mainArgs = w.profileArgs.empty() ? w.mainArgs : w.profileArgs;
+    w.profileArgs.clear();
+    JrpmSystem sys(w, quickConfig());
+    JrpmReport rep = sys.run();
+    ASSERT_TRUE(rep.seqMain.halted) << w.name;
+    ASSERT_TRUE(rep.tls.halted) << w.name;
+    EXPECT_TRUE(rep.outputsMatch)
+        << w.name << ": seq=" << rep.seqMain.exitValue
+        << " tls=" << rep.tls.exitValue;
+    // Speculation must never slow a benchmark down catastrophically.
+    EXPECT_GT(rep.actualSpeedup, 0.5) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadTls,
+    ::testing::Values(
+        "Assignment", "BitOps", "compress", "db", "deltaBlue",
+        "EmFloatPnt", "Huffman", "IDEA", "jess", "jLex",
+        "MipsSimulator", "monteCarlo", "NumHeapSort", "raytrace",
+        "euler", "fft", "FourierTest", "LuFactor", "moldyn",
+        "NeuralNet", "shallow", "decJpeg", "encJpeg", "h263dec",
+        "mpegVideo", "mp3"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+/**
+ * Full-input correctness sweep: buffer overflows, reprofiling-scale
+ * effects and multilevel switches only show up on the main inputs
+ * (the profile-input tests above once missed a store-buffer overflow
+ * bug in trap microcode).
+ */
+TEST(WorkloadFullInput, TlsMatchesSequentialOnMainInputs)
+{
+    auto check = [](const Workload &w) {
+        JrpmSystem sys(w, quickConfig());
+        RunOutcome seq =
+            sys.runSequential(w.mainArgs, false, nullptr);
+        auto sels = sys.selectOnly();
+        RunOutcome tls = sys.runTls(w.mainArgs, sels);
+        ASSERT_TRUE(seq.halted) << w.name;
+        ASSERT_TRUE(tls.halted) << w.name;
+        EXPECT_EQ(seq.exitValue, tls.exitValue) << w.name;
+        EXPECT_EQ(seq.vm.output, tls.vm.output) << w.name;
+    };
+    for (const auto &w : wl::allWorkloads())
+        check(w);
+    for (const char *n : {"NumHeapSort", "Huffman", "MipsSimulator",
+                          "db", "compress", "monteCarlo"}) {
+        Workload v;
+        ASSERT_TRUE(wl::manualVariant(n, v));
+        check(v);
+    }
+}
+
+/** Manual variants are also TLS-correct. */
+class ManualTls : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ManualTls, TlsMatchesSequential)
+{
+    Workload w;
+    ASSERT_TRUE(wl::manualVariant(GetParam(), w));
+    w.mainArgs = w.profileArgs.empty() ? w.mainArgs : w.profileArgs;
+    w.profileArgs.clear();
+    JrpmSystem sys(w, quickConfig());
+    JrpmReport rep = sys.run();
+    ASSERT_TRUE(rep.tls.halted) << w.name;
+    EXPECT_TRUE(rep.outputsMatch)
+        << w.name << ": seq=" << rep.seqMain.exitValue
+        << " tls=" << rep.tls.exitValue;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableFour, ManualTls,
+    ::testing::Values("NumHeapSort", "Huffman", "MipsSimulator",
+                      "db", "compress", "monteCarlo"));
+
+} // namespace
+} // namespace jrpm
