@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_predicted_vs_actual.dir/bench_fig8_predicted_vs_actual.cc.o"
+  "CMakeFiles/bench_fig8_predicted_vs_actual.dir/bench_fig8_predicted_vs_actual.cc.o.d"
+  "bench_fig8_predicted_vs_actual"
+  "bench_fig8_predicted_vs_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_predicted_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

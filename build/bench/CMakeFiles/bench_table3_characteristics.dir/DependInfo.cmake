@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_characteristics.cc" "bench/CMakeFiles/bench_table3_characteristics.dir/bench_table3_characteristics.cc.o" "gcc" "bench/CMakeFiles/bench_table3_characteristics.dir/bench_table3_characteristics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/jrpm_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jrpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jrpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/jrpm_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jrpm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/jrpm_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/jrpm_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/jrpm_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jrpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/jrpm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/jrpm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/jrpm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jrpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

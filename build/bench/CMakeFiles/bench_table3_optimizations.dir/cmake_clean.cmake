@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_optimizations.dir/bench_table3_optimizations.cc.o"
+  "CMakeFiles/bench_table3_optimizations.dir/bench_table3_optimizations.cc.o.d"
+  "bench_table3_optimizations"
+  "bench_table3_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

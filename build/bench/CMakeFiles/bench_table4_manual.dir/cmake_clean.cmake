@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_manual.dir/bench_table4_manual.cc.o"
+  "CMakeFiles/bench_table4_manual.dir/bench_table4_manual.cc.o.d"
+  "bench_table4_manual"
+  "bench_table4_manual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/jrpm_bench_util.dir/bench_util.cc.o.d"
+  "libjrpm_bench_util.a"
+  "libjrpm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_explorer.dir/dependence_explorer.cpp.o"
+  "CMakeFiles/dependence_explorer.dir/dependence_explorer.cpp.o.d"
+  "dependence_explorer"
+  "dependence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

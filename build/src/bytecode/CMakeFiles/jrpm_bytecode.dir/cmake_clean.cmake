@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_bytecode.dir/bytecode.cc.o"
+  "CMakeFiles/jrpm_bytecode.dir/bytecode.cc.o.d"
+  "libjrpm_bytecode.a"
+  "libjrpm_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_common.dir/logging.cc.o"
+  "CMakeFiles/jrpm_common.dir/logging.cc.o.d"
+  "CMakeFiles/jrpm_common.dir/stats.cc.o"
+  "CMakeFiles/jrpm_common.dir/stats.cc.o.d"
+  "CMakeFiles/jrpm_common.dir/types.cc.o"
+  "CMakeFiles/jrpm_common.dir/types.cc.o.d"
+  "libjrpm_common.a"
+  "libjrpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

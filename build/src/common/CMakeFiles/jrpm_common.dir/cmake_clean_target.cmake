@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjrpm_common.a"
+)

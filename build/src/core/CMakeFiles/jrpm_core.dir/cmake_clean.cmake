@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_core.dir/jrpm.cc.o"
+  "CMakeFiles/jrpm_core.dir/jrpm.cc.o.d"
+  "libjrpm_core.a"
+  "libjrpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

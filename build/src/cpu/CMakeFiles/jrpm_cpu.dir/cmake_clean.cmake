@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_cpu.dir/code_space.cc.o"
+  "CMakeFiles/jrpm_cpu.dir/code_space.cc.o.d"
+  "libjrpm_cpu.a"
+  "libjrpm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

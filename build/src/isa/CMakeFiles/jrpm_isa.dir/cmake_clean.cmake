@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_isa.dir/isa.cc.o"
+  "CMakeFiles/jrpm_isa.dir/isa.cc.o.d"
+  "libjrpm_isa.a"
+  "libjrpm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

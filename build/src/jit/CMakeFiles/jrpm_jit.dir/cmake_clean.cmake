@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_jit.dir/compiler.cc.o"
+  "CMakeFiles/jrpm_jit.dir/compiler.cc.o.d"
+  "CMakeFiles/jrpm_jit.dir/loops.cc.o"
+  "CMakeFiles/jrpm_jit.dir/loops.cc.o.d"
+  "libjrpm_jit.a"
+  "libjrpm_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

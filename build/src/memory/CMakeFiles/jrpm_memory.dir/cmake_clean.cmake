@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_memory.dir/cache.cc.o"
+  "CMakeFiles/jrpm_memory.dir/cache.cc.o.d"
+  "CMakeFiles/jrpm_memory.dir/main_memory.cc.o"
+  "CMakeFiles/jrpm_memory.dir/main_memory.cc.o.d"
+  "CMakeFiles/jrpm_memory.dir/spec_state.cc.o"
+  "CMakeFiles/jrpm_memory.dir/spec_state.cc.o.d"
+  "libjrpm_memory.a"
+  "libjrpm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/analyzer.cc" "src/profile/CMakeFiles/jrpm_profile.dir/analyzer.cc.o" "gcc" "src/profile/CMakeFiles/jrpm_profile.dir/analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracer/CMakeFiles/jrpm_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jrpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jrpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/jrpm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/jrpm_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

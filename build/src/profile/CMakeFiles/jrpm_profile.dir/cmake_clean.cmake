@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_profile.dir/analyzer.cc.o"
+  "CMakeFiles/jrpm_profile.dir/analyzer.cc.o.d"
+  "libjrpm_profile.a"
+  "libjrpm_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

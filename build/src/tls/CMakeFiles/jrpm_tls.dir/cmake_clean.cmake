@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_tls.dir/machine.cc.o"
+  "CMakeFiles/jrpm_tls.dir/machine.cc.o.d"
+  "libjrpm_tls.a"
+  "libjrpm_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

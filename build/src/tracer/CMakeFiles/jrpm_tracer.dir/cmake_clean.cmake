@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_tracer.dir/test_profiler.cc.o"
+  "CMakeFiles/jrpm_tracer.dir/test_profiler.cc.o.d"
+  "libjrpm_tracer.a"
+  "libjrpm_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_vm.dir/runtime.cc.o"
+  "CMakeFiles/jrpm_vm.dir/runtime.cc.o.d"
+  "libjrpm_vm.a"
+  "libjrpm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

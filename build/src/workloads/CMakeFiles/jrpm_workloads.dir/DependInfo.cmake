@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fp_workloads.cc" "src/workloads/CMakeFiles/jrpm_workloads.dir/fp_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/fp_workloads.cc.o.d"
+  "/root/repo/src/workloads/integer_workloads.cc" "src/workloads/CMakeFiles/jrpm_workloads.dir/integer_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/integer_workloads.cc.o.d"
+  "/root/repo/src/workloads/media_workloads.cc" "src/workloads/CMakeFiles/jrpm_workloads.dir/media_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/media_workloads.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/jrpm_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jrpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/jrpm_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jrpm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/jrpm_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/jrpm_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/jrpm_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jrpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/jrpm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/jrpm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/jrpm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jrpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

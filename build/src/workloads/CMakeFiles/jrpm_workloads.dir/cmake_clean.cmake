@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_workloads.dir/fp_workloads.cc.o"
+  "CMakeFiles/jrpm_workloads.dir/fp_workloads.cc.o.d"
+  "CMakeFiles/jrpm_workloads.dir/integer_workloads.cc.o"
+  "CMakeFiles/jrpm_workloads.dir/integer_workloads.cc.o.d"
+  "CMakeFiles/jrpm_workloads.dir/media_workloads.cc.o"
+  "CMakeFiles/jrpm_workloads.dir/media_workloads.cc.o.d"
+  "CMakeFiles/jrpm_workloads.dir/workloads.cc.o"
+  "CMakeFiles/jrpm_workloads.dir/workloads.cc.o.d"
+  "libjrpm_workloads.a"
+  "libjrpm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

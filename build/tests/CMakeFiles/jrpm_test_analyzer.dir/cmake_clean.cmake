@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_analyzer.dir/test_analyzer.cc.o"
+  "CMakeFiles/jrpm_test_analyzer.dir/test_analyzer.cc.o.d"
+  "jrpm_test_analyzer"
+  "jrpm_test_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_bytecode.dir/test_bytecode.cc.o"
+  "CMakeFiles/jrpm_test_bytecode.dir/test_bytecode.cc.o.d"
+  "jrpm_test_bytecode"
+  "jrpm_test_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

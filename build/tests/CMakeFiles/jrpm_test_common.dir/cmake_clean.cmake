@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_common.dir/test_common.cc.o"
+  "CMakeFiles/jrpm_test_common.dir/test_common.cc.o.d"
+  "jrpm_test_common"
+  "jrpm_test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

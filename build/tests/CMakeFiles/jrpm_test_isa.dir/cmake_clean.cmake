@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_isa.dir/test_isa.cc.o"
+  "CMakeFiles/jrpm_test_isa.dir/test_isa.cc.o.d"
+  "jrpm_test_isa"
+  "jrpm_test_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

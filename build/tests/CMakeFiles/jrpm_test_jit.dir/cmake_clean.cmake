@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_jit.dir/test_jit.cc.o"
+  "CMakeFiles/jrpm_test_jit.dir/test_jit.cc.o.d"
+  "jrpm_test_jit"
+  "jrpm_test_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_machine.dir/test_machine.cc.o"
+  "CMakeFiles/jrpm_test_machine.dir/test_machine.cc.o.d"
+  "jrpm_test_machine"
+  "jrpm_test_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

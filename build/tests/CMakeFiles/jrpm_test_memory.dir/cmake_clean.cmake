@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_memory.dir/test_memory.cc.o"
+  "CMakeFiles/jrpm_test_memory.dir/test_memory.cc.o.d"
+  "jrpm_test_memory"
+  "jrpm_test_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_property.dir/test_property.cc.o"
+  "CMakeFiles/jrpm_test_property.dir/test_property.cc.o.d"
+  "jrpm_test_property"
+  "jrpm_test_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

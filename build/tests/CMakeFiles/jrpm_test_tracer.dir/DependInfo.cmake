@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tracer.cc" "tests/CMakeFiles/jrpm_test_tracer.dir/test_tracer.cc.o" "gcc" "tests/CMakeFiles/jrpm_test_tracer.dir/test_tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracer/CMakeFiles/jrpm_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/jrpm_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jrpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/jrpm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/jrpm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jrpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_tracer.dir/test_tracer.cc.o"
+  "CMakeFiles/jrpm_test_tracer.dir/test_tracer.cc.o.d"
+  "jrpm_test_tracer"
+  "jrpm_test_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

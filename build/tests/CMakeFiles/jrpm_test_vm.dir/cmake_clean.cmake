@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_vm.dir/test_vm.cc.o"
+  "CMakeFiles/jrpm_test_vm.dir/test_vm.cc.o.d"
+  "jrpm_test_vm"
+  "jrpm_test_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_test_workloads.dir/test_workloads.cc.o"
+  "CMakeFiles/jrpm_test_workloads.dir/test_workloads.cc.o.d"
+  "jrpm_test_workloads"
+  "jrpm_test_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

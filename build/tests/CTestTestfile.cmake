@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common "/root/repo/build/tests/jrpm_test_common")
+set_tests_properties(common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(isa "/root/repo/build/tests/jrpm_test_isa")
+set_tests_properties(isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(memory "/root/repo/build/tests/jrpm_test_memory")
+set_tests_properties(memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(machine "/root/repo/build/tests/jrpm_test_machine")
+set_tests_properties(machine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tracer "/root/repo/build/tests/jrpm_test_tracer")
+set_tests_properties(tracer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analyzer "/root/repo/build/tests/jrpm_test_analyzer")
+set_tests_properties(analyzer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bytecode "/root/repo/build/tests/jrpm_test_bytecode")
+set_tests_properties(bytecode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(jit "/root/repo/build/tests/jrpm_test_jit")
+set_tests_properties(jit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vm "/root/repo/build/tests/jrpm_test_vm")
+set_tests_properties(vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads "/root/repo/build/tests/jrpm_test_workloads")
+set_tests_properties(workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property "/root/repo/build/tests/jrpm_test_property")
+set_tests_properties(property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;jrpm_add_test;/root/repo/tests/CMakeLists.txt;0;")
