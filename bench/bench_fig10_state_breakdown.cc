@@ -26,7 +26,7 @@ int
 run(int argc, char **argv)
 {
     bench::Options opt = bench::parseArgs(argc, argv);
-    JrpmConfig cfg = bench::benchConfig();
+    JrpmConfig cfg = bench::benchConfig(opt);
 
     std::printf("Figure 10 - Breakdown of speculative execution by "
                 "state (percent of TLS run)\n\n");

@@ -20,7 +20,7 @@ int
 run(int argc, char **argv)
 {
     bench::Options opt = bench::parseArgs(argc, argv);
-    JrpmConfig cfg = bench::benchConfig();
+    JrpmConfig cfg = bench::benchConfig(opt);
 
     std::printf("Figure 8 - Profiling slowdown, predicted and actual "
                 "TLS execution time\n(normalized to sequential "

@@ -19,7 +19,7 @@ int
 run(int argc, char **argv)
 {
     bench::Options opt = bench::parseArgs(argc, argv);
-    JrpmConfig cfg = bench::benchConfig();
+    JrpmConfig cfg = bench::benchConfig(opt);
 
     std::printf("Figure 9 - Total program speedup with compilation, "
                 "GC, profiling and\nrecompilation overheads "

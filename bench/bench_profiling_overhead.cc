@@ -27,7 +27,7 @@ int
 run(int argc, char **argv)
 {
     bench::Options opt = bench::parseArgs(argc, argv);
-    JrpmConfig cfg = bench::benchConfig();
+    JrpmConfig cfg = bench::benchConfig(opt);
 
     std::printf("TEST profiling overhead: hardware-assisted vs "
                 "software-only (modeled)\n\n");

@@ -8,12 +8,29 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/trace.hh"
 #include "workloads/workloads.hh"
 
 namespace jrpm
 {
 namespace
 {
+
+/** Scoped flight-recorder enable for the *Traced benchmark variants;
+ *  measures the recording hot path, dropping events as rings wrap. */
+struct TraceGuard
+{
+    TraceGuard()
+    {
+        Trace::global().configure(8, 1u << 15);
+        Trace::global().setEnabled(true);
+    }
+    ~TraceGuard()
+    {
+        Trace::global().setEnabled(false);
+        Trace::global().clear();
+    }
+};
 
 void
 BM_SequentialSimulation(benchmark::State &state)
@@ -49,6 +66,45 @@ BM_SpeculativeSimulation(benchmark::State &state)
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SpeculativeSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_SequentialSimulationTraced(benchmark::State &state)
+{
+    TraceGuard guard;
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmSystem sys(w);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunOutcome out = sys.runSequential({300}, false, nullptr);
+        cycles += out.cycles;
+        benchmark::DoNotOptimize(out.exitValue);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialSimulationTraced)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SpeculativeSimulationTraced(benchmark::State &state)
+{
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmSystem sys(w);
+    auto sels = sys.selectOnly();
+    TraceGuard guard; // enable only for the measured TLS runs
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunOutcome out = sys.runTls({300}, sels);
+        cycles += out.cycles;
+        benchmark::DoNotOptimize(out.exitValue);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpeculativeSimulationTraced)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_MicroJitCompile(benchmark::State &state)

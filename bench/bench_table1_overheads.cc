@@ -67,7 +67,7 @@ run(int argc, char **argv)
     v.setHeader({"handlers", "overhead cycles/commit",
                  "TLS speedup"});
     for (bool old_model : {false, true}) {
-        JrpmConfig cfg = bench::benchConfig();
+        JrpmConfig cfg = bench::benchConfig(opt);
         if (old_model)
             cfg.sys.handlers = HandlerCosts::legacy();
         if (opt.quick)

@@ -22,7 +22,7 @@ int
 run(int argc, char **argv)
 {
     bench::Options opt = bench::parseArgs(argc, argv);
-    JrpmConfig cfg = bench::benchConfig();
+    JrpmConfig cfg = bench::benchConfig(opt);
 
     std::printf("Table 3 (characteristics & TLS statistics)\n"
                 "(a) analyzable by a traditional parallelizing "

@@ -54,7 +54,7 @@ int
 run(int argc, char **argv)
 {
     bench::Options opt = bench::parseArgs(argc, argv);
-    JrpmConfig cfg = bench::benchConfig();
+    JrpmConfig cfg = bench::benchConfig(opt);
 
     std::printf("Table 3 (speedups from TLS optimizations and VM "
                 "modifications)\n\n");

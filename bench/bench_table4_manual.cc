@@ -21,7 +21,7 @@ int
 run(int argc, char **argv)
 {
     bench::Options opt = bench::parseArgs(argc, argv);
-    JrpmConfig cfg = bench::benchConfig();
+    JrpmConfig cfg = bench::benchConfig(opt);
 
     const char *names[] = {"NumHeapSort", "Huffman",
                            "MipsSimulator", "db", "compress",

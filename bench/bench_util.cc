@@ -19,8 +19,14 @@ parseArgs(int argc, char **argv)
             opt.quick = true;
         } else if (!std::strncmp(argv[i], "--only=", 7)) {
             opt.only = argv[i] + 7;
+        } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
+            opt.traceOut = argv[i] + 12;
+        } else if (!std::strncmp(argv[i], "--metrics-out=", 14)) {
+            opt.metricsOut = argv[i] + 14;
         } else if (!std::strcmp(argv[i], "--help")) {
-            std::printf("usage: %s [--quick] [--only=<benchmark>]\n",
+            std::printf("usage: %s [--quick] [--only=<benchmark>] "
+                        "[--trace-out=<path>] "
+                        "[--metrics-out=<path>]\n",
                         argv[0]);
             std::exit(0);
         }
@@ -47,9 +53,14 @@ selectWorkloads(const Options &opt)
 }
 
 JrpmConfig
-benchConfig()
+benchConfig(const Options &opt)
 {
-    return JrpmConfig{};
+    JrpmConfig cfg;
+    cfg.obs.traceOut = opt.traceOut;
+    cfg.obs.metricsOut = opt.metricsOut;
+    cfg.obs.traceEnabled =
+        !opt.traceOut.empty() || !opt.metricsOut.empty();
+    return cfg;
 }
 
 JrpmReport

@@ -2,8 +2,10 @@
  * @file
  * Shared plumbing for the benchmark harnesses that regenerate the
  * paper's tables and figures.  Every binary accepts:
- *   --quick            run on the (smaller) profiling inputs
- *   --only=<name>      restrict to one benchmark
+ *   --quick              run on the (smaller) profiling inputs
+ *   --only=<name>        restrict to one benchmark
+ *   --trace-out=<path>   write a Chrome/Perfetto trace of the runs
+ *   --metrics-out=<path> dump the metrics registry (.json for JSON)
  */
 
 #ifndef JRPM_BENCH_BENCH_UTIL_HH
@@ -25,6 +27,8 @@ struct Options
 {
     bool quick = false;
     std::string only;
+    std::string traceOut;    ///< --trace-out=<path>
+    std::string metricsOut;  ///< --metrics-out=<path>
 };
 
 Options parseArgs(int argc, char **argv);
@@ -32,8 +36,9 @@ Options parseArgs(int argc, char **argv);
 /** The workload list honoring --only, with --quick applied. */
 std::vector<Workload> selectWorkloads(const Options &opt);
 
-/** Default Jrpm configuration for benches. */
-JrpmConfig benchConfig();
+/** Default Jrpm configuration for benches, with any observability
+ *  outputs from the command line wired into cfg.obs. */
+JrpmConfig benchConfig(const Options &opt = {});
 
 /** Run the full pipeline for one workload with progress output. */
 JrpmReport runReport(const Workload &w, const JrpmConfig &cfg);

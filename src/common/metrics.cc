@@ -1,0 +1,145 @@
+#include "metrics.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+namespace
+{
+
+const char *
+kindName(int k)
+{
+    switch (k) {
+      case 0: return "counter";
+      case 1: return "gauge";
+      case 2: return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+MetricsRegistry::Entry &
+MetricsRegistry::fetch(const std::string &name, Kind kind)
+{
+    auto [it, inserted] = entries.try_emplace(name, Entry{kind, {}, {}, {}});
+    if (!inserted && it->second.kind != kind)
+        panic("metric '%s' registered as %s and %s", name.c_str(),
+              kindName(static_cast<int>(it->second.kind)),
+              kindName(static_cast<int>(kind)));
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return fetch(name, Kind::Counter).c;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return fetch(name, Kind::Gauge).g;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return fetch(name, Kind::Histogram).h;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, e] : entries) {
+        e.c.reset();
+        e.g.reset();
+        e.h.reset();
+    }
+}
+
+std::string
+MetricsRegistry::dumpText() const
+{
+    std::string out;
+    for (const auto &[name, e] : entries) {
+        switch (e.kind) {
+          case Kind::Counter:
+            out += strfmt("%-44s %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(
+                              e.c.value()));
+            break;
+          case Kind::Gauge:
+            out += strfmt("%-44s %.6g\n", name.c_str(), e.g.value());
+            break;
+          case Kind::Histogram: {
+            const SampleStat &s = e.h.summary();
+            out += strfmt("%-44s count=%llu mean=%.6g stddev=%.6g "
+                          "min=%.6g max=%.6g\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(s.count()),
+                          s.mean(), s.stddev(), s.min(), s.max());
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::dumpJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, e] : entries) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        switch (e.kind) {
+          case Kind::Counter:
+            out += strfmt("\"%s\":{\"kind\":\"counter\","
+                          "\"value\":%llu}",
+                          name.c_str(),
+                          static_cast<unsigned long long>(
+                              e.c.value()));
+            break;
+          case Kind::Gauge:
+            out += strfmt("\"%s\":{\"kind\":\"gauge\","
+                          "\"value\":%.9g}",
+                          name.c_str(), e.g.value());
+            break;
+          case Kind::Histogram: {
+            const SampleStat &s = e.h.summary();
+            out += strfmt("\"%s\":{\"kind\":\"histogram\","
+                          "\"count\":%llu,\"mean\":%.9g,"
+                          "\"stddev\":%.9g,\"min\":%.9g,"
+                          "\"max\":%.9g}",
+                          name.c_str(),
+                          static_cast<unsigned long long>(s.count()),
+                          s.mean(), s.stddev(), s.min(), s.max());
+            break;
+          }
+        }
+    }
+    out += "\n}\n";
+    return out;
+}
+
+bool
+MetricsRegistry::writeFile(const std::string &path, bool json) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open metrics output '%s'", path.c_str());
+        return false;
+    }
+    const std::string s = json ? dumpJson() : dumpText();
+    const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace jrpm

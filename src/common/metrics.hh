@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Hierarchical metrics registry for the Jrpm stack.
+ *
+ * Every component registers named counters, gauges and histograms
+ * under dotted paths ("tls.commits", "cache.l1.cpu0.misses", ...)
+ * instead of growing ad-hoc stat members.  Lookup happens once at
+ * wiring time and hands back a reference whose address is stable for
+ * the registry's lifetime, so hot paths pay a plain increment.  One
+ * `dumpText()` / `dumpJson()` renders the whole tree; `JrpmSystem`
+ * wires it into `JrpmReport` and `--metrics-out=`.
+ */
+
+#ifndef JRPM_COMMON_METRICS_HH
+#define JRPM_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace jrpm
+{
+
+/** A monotonically increasing count of events. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { v += n; }
+    std::uint64_t value() const { return v; }
+    void reset() { v = 0; }
+
+  private:
+    std::uint64_t v = 0;
+};
+
+/** A point-in-time value (last write wins). */
+class Gauge
+{
+  public:
+    void set(double value) { v = value; }
+    double value() const { return v; }
+    void reset() { v = 0.0; }
+
+  private:
+    double v = 0.0;
+};
+
+/** A sample distribution: count/mean/stddev/min/max via SampleStat. */
+class HistogramMetric
+{
+  public:
+    void sample(double value) { s.sample(value); }
+    /** Fold a pre-aggregated accumulator in (Chan's merge). */
+    void merge(const SampleStat &other) { s.merge(other); }
+    const SampleStat &summary() const { return s; }
+    void reset() { s.reset(); }
+
+  private:
+    SampleStat s;
+};
+
+/**
+ * The process-wide metrics registry.  Registering the same name twice
+ * returns the same metric; registering a name as two different kinds
+ * is a programming error and panics.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &
+    global()
+    {
+        static MetricsRegistry r;
+        return r;
+    }
+
+    /** Get-or-create; the returned reference stays valid forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    HistogramMetric &histogram(const std::string &name);
+
+    /** Number of registered metrics. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Zero every metric (registrations are kept). */
+    void reset();
+
+    /** Drop every metric (for test isolation). */
+    void clear() { entries.clear(); }
+
+    /** One line per metric, sorted by name. */
+    std::string dumpText() const;
+
+    /** Flat JSON object keyed by metric name. */
+    std::string dumpJson() const;
+
+    /** dump to a file; JSON if @p json else text. */
+    bool writeFile(const std::string &path, bool json) const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind;
+        Counter c;
+        Gauge g;
+        HistogramMetric h;
+    };
+
+    Entry &fetch(const std::string &name, Kind kind);
+
+    /** node-based map: entry addresses survive later insertions. */
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_METRICS_HH

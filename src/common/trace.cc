@@ -1,0 +1,357 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+namespace
+{
+
+/** JSON string escaping for the few free-form strings we emit. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+traceEvtName(TraceEvt e)
+{
+    switch (e) {
+      case TraceEvt::StateChange: return "state";
+      case TraceEvt::StlEntry: return "stl_entry";
+      case TraceEvt::StlExit: return "stl_exit";
+      case TraceEvt::ThreadStart: return "thread_start";
+      case TraceEvt::ThreadCommit: return "commit";
+      case TraceEvt::ThreadViolated: return "violation";
+      case TraceEvt::ThreadRestart: return "restart";
+      case TraceEvt::OverflowStall: return "overflow_stall";
+      case TraceEvt::ViolatedWindow: return "violated_window";
+      case TraceEvt::MemStall: return "mem_stall";
+      case TraceEvt::JitCompile: return "jit_compile";
+      case TraceEvt::JitRecompile: return "jit_recompile";
+      case TraceEvt::VmTrap: return "vm_trap";
+      case TraceEvt::GcBegin: return "gc_begin";
+      case TraceEvt::GcEnd: return "gc_end";
+      case TraceEvt::AllocRefill: return "alloc_refill";
+      case TraceEvt::AllocSerialized: return "alloc_serialized";
+      case TraceEvt::BankAllocated: return "bank_allocated";
+      case TraceEvt::BankStolen: return "bank_stolen";
+      case TraceEvt::BankExhausted: return "bank_exhausted";
+      case TraceEvt::ProfileFlushed: return "profile_flushed";
+      case TraceEvt::Phase: return "phase";
+    }
+    return "?";
+}
+
+const char *
+traceStateName(TraceState s)
+{
+    switch (s) {
+      case TraceState::Idle: return "idle";
+      case TraceState::Serial: return "serial";
+      case TraceState::SerialOverhead: return "overhead-serial";
+      case TraceState::SpecRun: return "run";
+      case TraceState::SpecWait: return "wait";
+      case TraceState::SpecOverhead: return "overhead";
+      case TraceState::SpecRunViolated: return "run-violated";
+      case TraceState::SpecWaitViolated: return "wait-violated";
+    }
+    return "?";
+}
+
+void
+Trace::configure(std::uint32_t cpu_tracks, std::size_t capacity)
+{
+    if (cpu_tracks == 0 || capacity == 0)
+        fatal("Trace::configure: tracks and capacity must be nonzero");
+    nCpuTracks = cpu_tracks;
+    rings.assign(cpu_tracks + 1, Ring());
+    for (auto &r : rings)
+        r.buf.resize(capacity);
+    tsOffset = 0;
+    maxTs = 0;
+    phaseMarks.clear();
+    ledger.clear();
+    ledgerDropped = 0;
+}
+
+void
+Trace::setEnabled(bool enable)
+{
+    if (enable && rings.empty())
+        configure(8, 1u << 15);
+    on = enable;
+}
+
+void
+Trace::clear()
+{
+    for (auto &r : rings) {
+        r.head = 0;
+        r.count = 0;
+    }
+    tsOffset = 0;
+    maxTs = 0;
+    phaseMarks.clear();
+    ledger.clear();
+    ledgerDropped = 0;
+}
+
+void
+Trace::beginPhase(const std::string &name)
+{
+    if (!on)
+        return;
+    tsOffset = totalRecorded() ? maxTs + 1 : 0;
+    phaseMarks.emplace_back(tsOffset, name);
+    record(kHostTrack, TraceEvt::Phase, 0,
+           static_cast<std::int32_t>(phaseMarks.size()) - 1);
+}
+
+void
+Trace::recordViolation(const ViolationRecord &rec)
+{
+    if (!on)
+        return;
+    if (ledger.size() >= kMaxLedger) {
+        ++ledgerDropped;
+        return;
+    }
+    ViolationRecord r = rec;
+    r.cycle += tsOffset;
+    ledger.push_back(r);
+}
+
+std::vector<TraceEvent>
+Trace::events(std::uint8_t track) const
+{
+    std::vector<TraceEvent> out;
+    const Ring *r = nullptr;
+    if (track == kHostTrack)
+        r = rings.empty() ? nullptr : &rings.back();
+    else if (track < nCpuTracks)
+        r = &rings[track];
+    if (!r || r->count == 0)
+        return out;
+    const std::size_t cap = r->buf.size();
+    const std::size_t n = std::min<std::uint64_t>(r->count, cap);
+    out.reserve(n);
+    // Oldest event: at head when wrapped, else at index 0.
+    std::size_t at = r->count > cap ? r->head : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(r->buf[at]);
+        if (++at == cap)
+            at = 0;
+    }
+    return out;
+}
+
+std::uint64_t
+Trace::totalRecorded() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : rings)
+        n += r.count;
+    return n;
+}
+
+std::uint64_t
+Trace::dropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : rings)
+        if (r.count > r.buf.size())
+            n += r.count - r.buf.size();
+    return n;
+}
+
+std::vector<TraceSpan>
+Trace::spans() const
+{
+    std::vector<TraceSpan> out;
+    const Cycle endTs = maxTs + 1;
+    for (std::uint32_t t = 0; t < nCpuTracks; ++t) {
+        const std::size_t firstOfTrack = out.size();
+        bool open = false;
+        TraceSpan cur;
+        auto close = [&](Cycle at) {
+            if (open && at > cur.begin) {
+                cur.end = at;
+                out.push_back(cur);
+            }
+            open = false;
+        };
+        for (const TraceEvent &e :
+             events(static_cast<std::uint8_t>(t))) {
+            if (e.kind == TraceEvt::StateChange) {
+                close(e.ts);
+                cur.track = static_cast<std::uint8_t>(t);
+                cur.state = static_cast<TraceState>(e.arg0);
+                cur.begin = e.ts;
+                open = true;
+            } else if (e.kind == TraceEvt::ViolatedWindow) {
+                // Recolor this track's run/wait spans in
+                // [e.ts - e.arg1, e.ts): the work was squashed.
+                const Cycle ws = e.ts >= e.arg1 ? e.ts - e.arg1 : 0;
+                close(e.ts);
+                for (std::size_t i = out.size();
+                     i-- > firstOfTrack;) {
+                    TraceSpan &s = out[i];
+                    if (s.end <= ws)
+                        break;
+                    TraceState vstate;
+                    if (s.state == TraceState::SpecRun)
+                        vstate = TraceState::SpecRunViolated;
+                    else if (s.state == TraceState::SpecWait)
+                        vstate = TraceState::SpecWaitViolated;
+                    else
+                        continue;
+                    if (s.begin >= ws) {
+                        s.state = vstate;
+                    } else {
+                        // Straddles the window start: split.
+                        TraceSpan tail = s;
+                        tail.begin = ws;
+                        tail.state = vstate;
+                        s.end = ws;
+                        out.push_back(tail);
+                    }
+                }
+                // Re-open the interrupted span (usually immediately
+                // superseded by a StateChange at the same ts).
+                cur.begin = e.ts;
+                open = true;
+            }
+        }
+        close(endTs);
+        // Splitting can append out of order; restore time order.
+        std::sort(out.begin() + firstOfTrack, out.end(),
+                  [](const TraceSpan &a, const TraceSpan &b) {
+                      return a.begin < b.begin;
+                  });
+    }
+    return out;
+}
+
+std::string
+Trace::exportChromeJson() const
+{
+    std::string j;
+    j.reserve(1u << 20);
+    j += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &ev) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += '\n';
+        j += ev;
+    };
+
+    // Track names.
+    for (std::uint32_t t = 0; t < nCpuTracks; ++t)
+        emit(strfmt("{\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                    "\"name\":\"thread_name\",\"args\":{\"name\":"
+                    "\"cpu%u\"}}", t, t));
+    emit(strfmt("{\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                "\"name\":\"thread_name\",\"args\":{\"name\":"
+                "\"host\"}}", nCpuTracks));
+
+    // Execution-state spans (skip Idle: it only adds noise).
+    for (const TraceSpan &s : spans()) {
+        if (s.state == TraceState::Idle)
+            continue;
+        emit(strfmt("{\"name\":\"%s\",\"cat\":\"state\",\"ph\":\"X\","
+                    "\"pid\":0,\"tid\":%u,\"ts\":%llu,\"dur\":%llu}",
+                    traceStateName(s.state), s.track,
+                    static_cast<unsigned long long>(s.begin),
+                    static_cast<unsigned long long>(s.length())));
+    }
+
+    // Instant events, every track.
+    auto emitInstants = [&](std::uint8_t track, std::uint32_t tid) {
+        for (const TraceEvent &e : events(track)) {
+            if (e.kind == TraceEvt::StateChange ||
+                e.kind == TraceEvt::ViolatedWindow)
+                continue;
+            std::string name;
+            if (e.kind == TraceEvt::Phase &&
+                static_cast<std::size_t>(e.arg0) < phaseMarks.size())
+                name = "phase:" +
+                       jsonEscape(phaseMarks[e.arg0].second);
+            else
+                name = traceEvtName(e.kind);
+            emit(strfmt("{\"name\":\"%s\",\"cat\":\"event\","
+                        "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                        "\"tid\":%u,\"ts\":%llu,\"args\":{"
+                        "\"arg0\":%d,\"arg1\":%llu,\"arg2\":%u}}",
+                        name.c_str(), tid,
+                        static_cast<unsigned long long>(e.ts),
+                        e.arg0,
+                        static_cast<unsigned long long>(e.arg1),
+                        e.arg2));
+        }
+    };
+    for (std::uint32_t t = 0; t < nCpuTracks; ++t)
+        emitInstants(static_cast<std::uint8_t>(t), t);
+    emitInstants(kHostTrack, nCpuTracks);
+
+    j += "\n],\"violationLedger\":[";
+    for (std::size_t i = 0; i < ledger.size(); ++i) {
+        const ViolationRecord &v = ledger[i];
+        j += strfmt("%s\n{\"cycle\":%llu,\"addr\":\"0x%x\","
+                    "\"storeSite\":%u,\"loopId\":%d,\"storeCpu\":%u,"
+                    "\"victimCpu\":%u,\"victimIteration\":%llu,"
+                    "\"victimProgress\":%llu}",
+                    i ? "," : "",
+                    static_cast<unsigned long long>(v.cycle), v.addr,
+                    v.storeSite, v.loopId, v.storeCpu, v.victimCpu,
+                    static_cast<unsigned long long>(
+                        v.victimIteration),
+                    static_cast<unsigned long long>(
+                        v.victimProgress));
+    }
+    j += strfmt("\n],\"droppedEvents\":%llu,"
+                "\"droppedViolations\":%llu}\n",
+                static_cast<unsigned long long>(dropped()),
+                static_cast<unsigned long long>(ledgerDropped));
+    return j;
+}
+
+bool
+Trace::writeChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open trace output '%s'", path.c_str());
+        return false;
+    }
+    const std::string j = exportChromeJson();
+    const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace jrpm

@@ -1,8 +1,11 @@
 #include "jrpm.hh"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace jrpm
 {
@@ -36,6 +39,13 @@ JrpmSystem::runOn(Machine &m, const std::vector<Word> &args)
     out.stats = m.stats();
     out.stl = m.stlStats();
     out.vm = vm.stats();
+    out.l1Hits = m.l1Hits();
+    out.l1Misses = m.l1Misses();
+    out.l2Hits = m.l2Hits();
+    out.l2Misses = m.l2Misses();
+    auto &reg = MetricsRegistry::global();
+    m.publishMetrics(reg);
+    vm.publishMetrics(reg);
     m.setRuntime(nullptr);
     return out;
 }
@@ -44,6 +54,9 @@ RunOutcome
 JrpmSystem::runSequential(const std::vector<Word> &args,
                           bool annotated, TestProfiler *prof)
 {
+    if (JRPM_TRACE_ON())
+        Trace::global().beginPhase(annotated ? "profile"
+                                             : "sequential");
     Machine m(cfg.sys);
     theJit.compileAll(m.codeSpace(), annotated
                                          ? CompileMode::Profiling
@@ -57,6 +70,8 @@ RunOutcome
 JrpmSystem::runTls(const std::vector<Word> &args,
                    const std::vector<SelectedStl> &selections)
 {
+    if (JRPM_TRACE_ON())
+        Trace::global().beginPhase("tls");
     Machine m(cfg.sys);
     std::vector<StlRequest> reqs;
     reqs.reserve(selections.size());
@@ -167,6 +182,16 @@ JrpmSystem::selectOnly()
 JrpmReport
 JrpmSystem::run()
 {
+    if (cfg.obs.traceEnabled) {
+        auto &tr = Trace::global();
+        // Keep events from earlier runs (a bench tracing several
+        // workloads); only resize when the geometry changed.
+        if (tr.cpuTracks() != cfg.sys.numCpus ||
+            tr.capacity() != cfg.obs.traceCapacity)
+            tr.configure(cfg.sys.numCpus, cfg.obs.traceCapacity);
+        tr.setEnabled(true);
+    }
+
     JrpmReport rep;
     rep.name = load.name;
 
@@ -249,6 +274,33 @@ JrpmSystem::run()
                        !rep.seqMain.uncaught && !rep.tls.uncaught &&
                        rep.seqMain.exitValue == rep.tls.exitValue &&
                        rep.seqMain.vm.output == rep.tls.vm.output;
+
+    rep.topViolations = rep.tls.stats.topViolationAddrs(10);
+
+    // Observability exports.
+    auto &reg = MetricsRegistry::global();
+    prof.publishMetrics(reg);
+    {
+        std::string p = "jrpm." + rep.name;
+        for (char &c : p)
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '.')
+                c = '_';
+        reg.gauge(p + ".profiling_slowdown")
+            .set(rep.profilingSlowdown);
+        reg.gauge(p + ".actual_speedup").set(rep.actualSpeedup);
+        reg.gauge(p + ".total_speedup").set(rep.totalSpeedup);
+        reg.counter(p + ".selected_stls").inc(rep.selections.size());
+    }
+    if (!cfg.obs.traceOut.empty())
+        Trace::global().writeChromeJson(cfg.obs.traceOut);
+    if (!cfg.obs.metricsOut.empty()) {
+        const std::string &path = cfg.obs.metricsOut;
+        const bool json = path.size() >= 5 &&
+                          path.compare(path.size() - 5, 5, ".json")
+                              == 0;
+        reg.writeFile(path, json);
+    }
     return rep;
 }
 

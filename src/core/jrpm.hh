@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bytecode/bytecode.hh"
@@ -51,6 +52,20 @@ struct Workload
     std::string manualNote;        ///< Table 4: what was transformed
 };
 
+/** Observability: flight-recorder tracing and metrics export. */
+struct ObsConfig
+{
+    /** Capture events into the global flight recorder. */
+    bool traceEnabled = false;
+    /** Events retained per ring (per CPU + host track). */
+    std::size_t traceCapacity = 1u << 15;
+    /** Write Chrome/Perfetto trace_event JSON here after run(). */
+    std::string traceOut;
+    /** Write the metrics registry here after run() (".json" selects
+     *  JSON, anything else text). */
+    std::string metricsOut;
+};
+
 /** Full configuration of a Jrpm instance. */
 struct JrpmConfig
 {
@@ -59,6 +74,7 @@ struct JrpmConfig
     AnalyzerConfig analyzer;
     VmConfig vm;
     TracerConfig tracer;
+    ObsConfig obs;
     /** microJIT speed model: cycles per bytecode compiled. */
     double cyclesPerBytecodeCompile = 250.0;
     /** recompilation touches only STL-bearing methods. */
@@ -77,6 +93,10 @@ struct RunOutcome
     ExecStats stats;
     StlStatsMap stl;
     VmStats vm;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
 };
 
 /** Fig. 9 lifecycle components, in cycles. */
@@ -112,6 +132,9 @@ struct JrpmReport
     double actualSpeedup = 1.0;      ///< Fig. 8 right bar (inverse)
     double totalSpeedup = 1.0;       ///< Fig. 9
     bool outputsMatch = false;       ///< TLS == sequential results
+
+    /** Hottest violating store addresses of the TLS run, count-desc. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> topViolations;
 };
 
 /** The Jrpm system instance for one workload. */

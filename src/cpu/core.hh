@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/trace.hh"
 #include "cpu/code_space.hh"
 #include "cpu/config.hh"
 #include "memory/cache.hh"
@@ -81,6 +82,12 @@ struct Core
     // moved to used/violated buckets on commit/squash.
     double tentativeRun = 0;
     double tentativeWait = 0;
+
+    // Flight-recorder bookkeeping: the state last emitted for this
+    // CPU's track, and where the current tentative window began (so a
+    // squash can recolor exactly the cycles it threw away).
+    TraceState traceState = TraceState::Idle;
+    Cycle tentStart = 0;
 
     // Timing-only L1 data cache model.
     CacheModel l1;

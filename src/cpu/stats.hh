@@ -7,9 +7,12 @@
 #ifndef JRPM_CPU_STATS_HH
 #define JRPM_CPU_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -33,11 +36,48 @@ struct ExecStats
     double waitViolated = 0;
 
     std::uint64_t violations = 0;     ///< RAW squash events
-    /** Addresses whose stores caused violations (diagnostics). */
+    /** Addresses whose stores caused violations (diagnostics).
+     *  Bounded: at most kMaxViolationAddrs distinct addresses are
+     *  tracked; further new addresses bump violationAddrsDropped. */
     std::map<std::uint64_t, std::uint64_t> violationAddrs;
+    std::uint64_t violationAddrsDropped = 0;
     std::uint64_t commits = 0;        ///< committed speculative threads
     std::uint64_t stlEntries = 0;
     std::uint64_t bufferOverflowStalls = 0;
+
+    static constexpr std::size_t kMaxViolationAddrs = 128;
+
+    /** Count one violation against @p addr, respecting the cap. */
+    void
+    noteViolation(std::uint64_t addr)
+    {
+        ++violations;
+        auto it = violationAddrs.find(addr);
+        if (it != violationAddrs.end()) {
+            ++it->second;
+        } else if (violationAddrs.size() < kMaxViolationAddrs) {
+            violationAddrs.emplace(addr, 1);
+        } else {
+            ++violationAddrsDropped;
+        }
+    }
+
+    /** The @p n most violation-prone addresses, hottest first. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    topViolationAddrs(std::size_t n) const
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> v(
+            violationAddrs.begin(), violationAddrs.end());
+        std::sort(v.begin(), v.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second
+                                 ? a.second > b.second
+                                 : a.first < b.first;
+                  });
+        if (v.size() > n)
+            v.resize(n);
+        return v;
+    }
 
     double
     total() const

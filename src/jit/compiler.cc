@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace jrpm
@@ -2220,6 +2222,26 @@ Jit::compileAll(CodeSpace &cs, CompileMode mode,
         else
             cs.replace(mi, std::move(code));
     }
+
+    JRPM_TRACE(Trace::kHostTrack,
+               fresh ? TraceEvt::JitCompile : TraceEvt::JitRecompile,
+               0, static_cast<std::int32_t>(mode), nEmitted,
+               static_cast<std::uint32_t>(prog.methods.size()));
+    auto &reg = MetricsRegistry::global();
+    reg.counter("jit.compiles").inc();
+    switch (mode) {
+      case CompileMode::Plain:
+        reg.counter("jit.compiles.plain").inc();
+        break;
+      case CompileMode::Profiling:
+        reg.counter("jit.compiles.profiling").inc();
+        break;
+      case CompileMode::Tls:
+        reg.counter("jit.compiles.tls").inc();
+        reg.counter("jit.stl_requests").inc(stls.size());
+        break;
+    }
+    reg.counter("jit.insts_emitted").inc(nEmitted);
 }
 
 } // namespace jrpm

@@ -109,4 +109,12 @@ CacheModel::flush()
         w.valid = false;
 }
 
+void
+CacheModel::publishMetrics(MetricsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.counter(prefix + ".hits").inc(nHits);
+    reg.counter(prefix + ".misses").inc(nMisses);
+}
+
 } // namespace jrpm

@@ -13,8 +13,10 @@
 #define JRPM_MEMORY_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/types.hh"
 
 namespace jrpm
@@ -59,6 +61,10 @@ class CacheModel
     std::uint32_t lineBytes() const { return lineSize; }
     std::uint64_t hits() const { return nHits; }
     std::uint64_t misses() const { return nMisses; }
+
+    /** Register hit/miss counts as "<prefix>.hits"/".misses". */
+    void publishMetrics(MetricsRegistry &reg,
+                        const std::string &prefix) const;
 
   private:
     struct Way

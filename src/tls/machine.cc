@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace jrpm
 {
@@ -45,6 +47,8 @@ Machine::start(std::uint32_t method_id, const std::vector<Word> &args,
         c.clearSpecState();
         c.tentativeRun = c.tentativeWait = 0;
         c.iteration = 0;
+        c.traceState = TraceState::Idle;
+        c.tentStart = cycle;
     }
     Core &c0 = cores[0];
     c0.mode = CpuMode::Sequential;
@@ -71,6 +75,13 @@ Machine::run(std::uint64_t max_cycles)
 {
     while (!halted() && max_cycles--)
         step();
+    // Re-emit each CPU's current state so the exporter can close the
+    // final spans at the last simulated cycle, not the last change.
+    if (JRPM_TRACE_ON())
+        for (const auto &c : cores)
+            JRPM_TRACE(static_cast<std::uint8_t>(c.id),
+                       TraceEvt::StateChange, cycle,
+                       static_cast<std::int32_t>(c.traceState));
     return halted();
 }
 
@@ -125,22 +136,32 @@ Machine::stepCpu(Core &c)
 {
     const double share = specActive ? 1.0 / cfg.numCpus : 1.0;
 
-    if (c.mode == CpuMode::Halted)
-        return;
-
-    if (c.mode == CpuMode::Parked) {
-        if (specActive)
-            execStats.waitUsed += share;
+    if (c.mode == CpuMode::Halted) {
+        noteState(c, TraceState::Idle);
         return;
     }
 
-    if (!specActive && c.id != seqCpu)
+    if (c.mode == CpuMode::Parked) {
+        if (specActive) {
+            execStats.waitUsed += share;
+            noteState(c, TraceState::SpecWait);
+        } else {
+            noteState(c, TraceState::Idle);
+        }
+        return;
+    }
+
+    if (!specActive && c.id != seqCpu) {
+        noteState(c, TraceState::Idle);
         return; // a leftover non-seq CPU (should be parked)
+    }
 
     // A pending squash preempts whatever the CPU was doing.
     if (c.squashed) {
         squashToRestart(c);
         execStats.overhead += share;
+        noteState(c, specActive ? TraceState::SpecOverhead
+                                : TraceState::SerialOverhead);
         return;
     }
 
@@ -155,6 +176,8 @@ Machine::stepCpu(Core &c)
                 c.tentativeRun += share;
             else
                 execStats.serial += share;
+            noteState(c, specActive ? TraceState::SpecRun
+                                    : TraceState::Serial);
             return;
           case StallKind::Handler:
             // Handler costs are TLS overhead even when charged at the
@@ -162,6 +185,8 @@ Machine::stepCpu(Core &c)
             if (--c.stallCycles == 0)
                 c.stall = StallKind::None;
             execStats.overhead += share;
+            noteState(c, specActive ? TraceState::SpecOverhead
+                                    : TraceState::SerialOverhead);
             return;
           case StallKind::WaitHead:
             resolved = isHead(c.id) || !specActive;
@@ -191,6 +216,8 @@ Machine::stepCpu(Core &c)
             c.tentativeWait += share;
         else
             execStats.serial += share;
+        noteState(c, specActive ? TraceState::SpecWait
+                                : TraceState::Serial);
         if (!resolved)
             return;
         return; // resolution consumed this cycle; execute next cycle
@@ -201,6 +228,17 @@ Machine::stepCpu(Core &c)
         c.tentativeRun += share;
     else
         execStats.serial += share;
+    noteState(c, specActive ? TraceState::SpecRun : TraceState::Serial);
+}
+
+void
+Machine::noteState(Core &c, TraceState s)
+{
+    if (c.traceState == s)
+        return;
+    c.traceState = s;
+    JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::StateChange,
+               cycle, static_cast<std::int32_t>(s));
 }
 
 void
@@ -212,9 +250,16 @@ Machine::retireTentative(Core &c, bool used)
     } else {
         execStats.runViolated += c.tentativeRun;
         execStats.waitViolated += c.tentativeWait;
+        // Tell the exporter to recolor this track's run/wait spans
+        // since the attempt began: those cycles were thrown away.
+        if (c.tentativeRun + c.tentativeWait > 0)
+            JRPM_TRACE(static_cast<std::uint8_t>(c.id),
+                       TraceEvt::ViolatedWindow, cycle, 0,
+                       cycle - c.tentStart);
     }
     c.tentativeRun = 0;
     c.tentativeWait = 0;
+    c.tentStart = cycle;
 }
 
 void
@@ -501,8 +546,15 @@ Machine::cacheLatency(Core &c, Addr addr, bool is_store)
     }
     if (c.l1.access(addr))
         return 0;
-    if (l2.access(addr))
+    if (l2.access(addr)) {
+        JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::MemStall,
+                   cycle, static_cast<std::int32_t>(HitLevel::L2),
+                   addr, cfg.l2Latency);
         return cfg.l2Latency;
+    }
+    JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::MemStall,
+               cycle, static_cast<std::int32_t>(HitLevel::Memory),
+               addr, cfg.memLatency);
     return cfg.memLatency;
 }
 
@@ -571,6 +623,9 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
                     // Load-buffer overflow: stall until head, retry.
                     c.stall = StallKind::Overflow;
                     ++execStats.bufferOverflowStalls;
+                    JRPM_TRACE(static_cast<std::uint8_t>(c.id),
+                               TraceEvt::OverflowStall, cycle,
+                               stlLoopId);
                     faulted = false;
                     return kTrapRetry; // sentinel: caller rewinds pc
                 }
@@ -596,7 +651,8 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
 
 std::uint32_t
 Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
-                 bool &faulted, bool &stalled, bool trap_context)
+                 bool &faulted, bool &stalled, std::uint32_t site,
+                 bool trap_context)
 {
     faulted = false;
     stalled = false;
@@ -638,6 +694,8 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
             } else {
                 c.stall = StallKind::Overflow;
                 ++execStats.bufferOverflowStalls;
+                JRPM_TRACE(static_cast<std::uint8_t>(c.id),
+                           TraceEvt::OverflowStall, cycle, stlLoopId);
                 stalled = true;
                 return 0;
             }
@@ -662,8 +720,8 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
             victim = &d;
     }
     if (victim) {
-        ++execStats.violationAddrs[addr];
-        violate(*victim);
+        execStats.noteViolation(addr);
+        violate(*victim, addr, site, c.id);
     }
     return 0;
 }
@@ -680,7 +738,8 @@ Machine::execMemOp(Core &c, const Inst &inst)
             inst.op == Op::SW ? 4 : inst.op == Op::SH ? 2 : 1;
         bool faulted = false, stalled = false;
         std::uint32_t lat =
-            doStore(c, addr, len, c.regs[inst.rt], faulted, stalled);
+            doStore(c, addr, len, c.regs[inst.rt], faulted, stalled,
+                    encodePc(instPc));
         if (stalled) {
             c.pc = instPc; // retry after the overflow drains
             return;
@@ -742,7 +801,7 @@ Machine::trapStoreWord(std::uint32_t cpu, Addr addr, Word value)
 {
     Core &c = cores[cpu];
     bool faulted = false, stalled = false;
-    return doStore(c, addr, 4, value, faulted, stalled,
+    return doStore(c, addr, 4, value, faulted, stalled, /*site=*/0,
                    /*trap_context=*/true);
 }
 
@@ -763,10 +822,15 @@ Machine::beginStl(Core &master, std::int32_t loop_id, Pc restart_pc)
     master.mode = CpuMode::Speculative;
     master.iteration = 0;
     master.threadStart = cycle;
+    master.tentStart = cycle;
     master.clearSpecState();
     ++execStats.stlEntries;
     auto &ls = stlRuntime[loop_id];
     ++ls.entries;
+    JRPM_TRACE(static_cast<std::uint8_t>(master.id),
+               TraceEvt::StlEntry, cycle, loop_id);
+    JRPM_TRACE(static_cast<std::uint8_t>(master.id),
+               TraceEvt::ThreadStart, cycle, loop_id, 0);
 }
 
 void
@@ -786,6 +850,10 @@ Machine::wakeSlaves(Core &master, Pc entry)
         d.iteration = nextToAssign++;
         d.threadStart = cycle;
         d.tentativeRun = d.tentativeWait = 0;
+        d.tentStart = cycle;
+        JRPM_TRACE(static_cast<std::uint8_t>(d.id),
+                   TraceEvt::ThreadStart, cycle, stlLoopId,
+                   d.iteration);
     }
 }
 
@@ -826,6 +894,8 @@ Machine::execScop(Core &c, const Inst &inst)
         seqCpu = c.id;
         retireTentative(c, true);
         chargeHandler(c, costs.shutdown);
+        JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::StlExit,
+                   cycle, stlLoopId, cycle - stlEntryCycle);
         break;
       }
       case ScopCmd::WakeSlaves:
@@ -844,6 +914,9 @@ Machine::execScop(Core &c, const Inst &inst)
         c.threadStart = cycle;
         c.overflowed = false;
         c.directMode = false;
+        JRPM_TRACE(static_cast<std::uint8_t>(c.id),
+                   TraceEvt::ThreadStart, cycle, stlLoopId,
+                   c.iteration);
         break;
       case ScopCmd::WaitHead:
         if (specActive && !isHead(c.id))
@@ -889,6 +962,8 @@ Machine::execScop(Core &c, const Inst &inst)
         c.clearSpecState();
         ++stlRuntime[stlLoopId].entries;
         chargeHandler(c, HandlerCosts::hoisted().startup);
+        JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::StlEntry,
+                   cycle, stlLoopId);
         break;
       }
       case ScopCmd::SwitchShutdown: {
@@ -897,6 +972,8 @@ Machine::execScop(Core &c, const Inst &inst)
         if (!isHead(c.id))
             panic("switch_shutdown by non-head cpu%u", c.id);
         stlRuntime[stlLoopId].cyclesInside += cycle - stlEntryCycle;
+        JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::StlExit,
+                   cycle, stlLoopId, cycle - stlEntryCycle);
         retireTentative(c, true);
         parkOthers(c.id);
         StlContext ctx = std::move(contextStack.back());
@@ -926,6 +1003,10 @@ Machine::execScop(Core &c, const Inst &inst)
             d.stall = StallKind::None;
             d.clearSpecState();
             d.tentativeRun = d.tentativeWait = 0;
+            d.tentStart = cycle;
+            JRPM_TRACE(static_cast<std::uint8_t>(d.id),
+                       TraceEvt::ThreadStart, cycle, stlLoopId,
+                       d.iteration);
         }
         c.threadStart = cycle;
         c.clearSpecState();
@@ -944,6 +1025,8 @@ Machine::commitThread(Core &c)
     ls.loadLines.sample(static_cast<double>(c.tags.readLineCount()));
     ls.storeLines.sample(static_cast<double>(c.buffer.lineCount()));
     ++execStats.commits;
+    JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::ThreadCommit,
+               cycle, stlLoopId, c.iteration);
 
     // Committed lines supersede stale copies in other L1s.
     if (cfg.cacheTiming)
@@ -984,11 +1067,26 @@ Machine::execSmem(Core &c, const Inst &inst)
 }
 
 void
-Machine::violate(Core &victim)
+Machine::violate(Core &victim, Addr addr, std::uint32_t site,
+                 std::uint32_t store_cpu)
 {
-    ++execStats.violations;
     if (specActive)
         ++stlRuntime[stlLoopId].violations;
+    if (JRPM_TRACE_ON()) {
+        ViolationRecord rec;
+        rec.cycle = cycle;
+        rec.addr = addr;
+        rec.storeSite = site;
+        rec.loopId = stlLoopId;
+        rec.storeCpu = static_cast<std::uint8_t>(store_cpu);
+        rec.victimCpu = static_cast<std::uint8_t>(victim.id);
+        rec.victimIteration = victim.iteration;
+        rec.victimProgress = cycle - victim.threadStart;
+        Trace::global().recordViolation(rec);
+        JRPM_TRACE(static_cast<std::uint8_t>(victim.id),
+                   TraceEvt::ThreadViolated, cycle, stlLoopId, addr,
+                   site);
+    }
     const std::uint64_t from = victim.iteration;
     for (auto &d : cores) {
         if (d.mode != CpuMode::Speculative || d.iteration < from)
@@ -1008,6 +1106,8 @@ Machine::squashToRestart(Core &c)
     c.stallCycles = 0;
     c.threadStart = cycle;
     c.pc = stlRestartPc;
+    JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::ThreadRestart,
+               cycle, stlLoopId, c.iteration);
 }
 
 // ---------------------------------------------------------------------
@@ -1050,6 +1150,8 @@ Machine::execTrap(Core &c, const Inst &inst)
         c.pendingOverflowStall = false;
         c.stall = StallKind::Overflow;
         ++execStats.bufferOverflowStalls;
+        JRPM_TRACE(static_cast<std::uint8_t>(c.id),
+                   TraceEvt::OverflowStall, cycle, stlLoopId);
         return;
     }
     if (cost) {
@@ -1107,6 +1209,8 @@ Machine::dispatchException(Core &c)
         // thread's work so far is architectural) and unwind
         // sequentially on this CPU.
         stlRuntime[stlLoopId].cyclesInside += cycle - stlEntryCycle;
+        JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::StlExit,
+                   cycle, stlLoopId, cycle - stlEntryCycle);
         c.buffer.drainTo(mem);
         retireTentative(c, true);
         specActive = false;
@@ -1176,6 +1280,52 @@ Machine::unwind(Core &c, ExcKind kind, Word value)
         c.regs[R_FP] = oldFp;
         at = decodePc(ra);
         at.index -= 1; // the call site instruction
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+std::uint64_t
+Machine::l1Hits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : cores)
+        n += c.l1.hits();
+    return n;
+}
+
+std::uint64_t
+Machine::l1Misses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : cores)
+        n += c.l1.misses();
+    return n;
+}
+
+void
+Machine::publishMetrics(MetricsRegistry &reg) const
+{
+    reg.counter("tls.cycles").inc(cycle);
+    reg.counter("tls.insts").inc(nInsts);
+    reg.counter("tls.mem_ops").inc(nMemOps);
+    reg.counter("tls.stl_entries").inc(execStats.stlEntries);
+    reg.counter("tls.commits").inc(execStats.commits);
+    reg.counter("tls.violations").inc(execStats.violations);
+    reg.counter("tls.overflow_stalls")
+        .inc(execStats.bufferOverflowStalls);
+    for (const auto &c : cores)
+        c.l1.publishMetrics(reg, strfmt("cache.l1.cpu%u", c.id));
+    l2.publishMetrics(reg, "cache.l2");
+    for (const auto &[loop, ls] : stlRuntime) {
+        const std::string p = strfmt("tls.loop%d", loop);
+        reg.counter(p + ".entries").inc(ls.entries);
+        reg.counter(p + ".commits").inc(ls.commits);
+        reg.counter(p + ".violations").inc(ls.violations);
+        reg.counter(p + ".cycles_inside").inc(ls.cyclesInside);
+        reg.histogram(p + ".thread_cycles").merge(ls.threadCycles);
     }
 }
 

@@ -136,6 +136,15 @@ class Machine
     /** Per-CPU view, for tests. */
     const Core &core(std::uint32_t cpu) const { return cores[cpu]; }
 
+    // ---- cache-model counters (timing diagnostics) -----------------
+    std::uint64_t l1Hits() const;
+    std::uint64_t l1Misses() const;
+    std::uint64_t l2Hits() const { return l2.hits(); }
+    std::uint64_t l2Misses() const { return l2.misses(); }
+
+    /** Register machine-level counters under "tls." / "cache.". */
+    void publishMetrics(MetricsRegistry &reg) const;
+
   private:
     // ---- machine state ---------------------------------------------
     SystemConfig cfg;
@@ -204,16 +213,21 @@ class Machine
      *  trap context). */
     std::uint32_t doStore(Core &c, Addr addr, std::uint32_t len,
                           Word value, bool &faulted, bool &stalled,
+                          std::uint32_t site = 0,
                           bool trap_context = false);
 
-    /** Squash CPU @p victim and everything more speculative. */
-    void violate(Core &victim);
+    /** Squash CPU @p victim and everything more speculative.
+     *  @p addr/@p site/@p store_cpu attribute the violating store. */
+    void violate(Core &victim, Addr addr, std::uint32_t site,
+                 std::uint32_t store_cpu);
     /** Reset one CPU to its STL restart point. */
     void squashToRestart(Core &c);
     /** Commit the thread of @p c (must be head). */
     void commitThread(Core &c);
     /** Move tentative cycle accounting into used buckets. */
     void retireTentative(Core &c, bool used);
+    /** Emit a flight-recorder StateChange if the state changed. */
+    void noteState(Core &c, TraceState s);
 
     void beginStl(Core &master, std::int32_t loop_id, Pc restart_pc);
     void endStl(Core &exiting);

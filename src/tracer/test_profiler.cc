@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace jrpm
 {
@@ -38,9 +39,8 @@ TestProfiler::reset()
 }
 
 TestProfiler::Bank *
-TestProfiler::allocateBank(std::int32_t loop_id)
+TestProfiler::allocateBank(std::int32_t loop_id, Cycle now)
 {
-    (void)loop_id;
     for (auto &b : banks)
         if (!b.active)
             return &b;
@@ -62,8 +62,11 @@ TestProfiler::allocateBank(std::int32_t loop_id)
     }
     if (!victim)
         return nullptr;
+    JRPM_TRACE(Trace::kHostTrack, TraceEvt::BankStolen, now, loop_id,
+               static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(victim->loopId)));
     bankOf.erase(victim->loopId);
-    flushBank(*victim);
+    flushBank(*victim, now);
     return victim;
 }
 
@@ -76,12 +79,16 @@ TestProfiler::onLoopEntry(std::int32_t loop_id, Cycle now)
         // static loop).
         return;
     }
-    Bank *b = allocateBank(loop_id);
+    Bank *b = allocateBank(loop_id, now);
     if (!b) {
         ++results[loop_id].skippedEntries;
         results[loop_id].loopId = loop_id;
+        JRPM_TRACE(Trace::kHostTrack, TraceEvt::BankExhausted, now,
+                   loop_id);
         return;
     }
+    JRPM_TRACE(Trace::kHostTrack, TraceEvt::BankAllocated, now,
+               loop_id);
     *b = Bank();
     b->active = true;
     b->loopId = loop_id;
@@ -139,10 +146,12 @@ TestProfiler::onLoopIteration(std::int32_t loop_id, Cycle now)
 }
 
 void
-TestProfiler::flushBank(Bank &b)
+TestProfiler::flushBank(Bank &b, Cycle now)
 {
     if (!b.active)
         return;
+    JRPM_TRACE(Trace::kHostTrack, TraceEvt::ProfileFlushed, now,
+               b.loopId, b.acc.iterations);
     ++b.acc.entries;
     LoopProfile &out = results[b.loopId];
     const std::int32_t id = b.loopId;
@@ -166,14 +175,13 @@ TestProfiler::flushBank(Bank &b)
 void
 TestProfiler::onLoopExit(std::int32_t loop_id, Cycle now)
 {
-    (void)now;
     auto it = bankOf.find(loop_id);
     if (it == bankOf.end())
         return;
     Bank &b = banks[it->second];
     // The final (partial) iteration ended at the last eoi; the exit
     // path itself is not a thread.
-    flushBank(b);
+    flushBank(b, now);
     bankOf.erase(it);
 }
 
@@ -305,6 +313,22 @@ TestProfiler::enoughData() const
             return false;
     }
     return any;
+}
+
+void
+TestProfiler::publishMetrics(MetricsRegistry &reg) const
+{
+    for (const auto &[id, prof] : results) {
+        const std::string p = strfmt("tracer.loop%d", id);
+        reg.counter(p + ".entries").inc(prof.entries);
+        reg.counter(p + ".iterations").inc(prof.iterations);
+        reg.counter(p + ".skipped_entries").inc(prof.skippedEntries);
+        reg.counter(p + ".dep_threads").inc(prof.depThreads);
+        reg.counter(p + ".overflow_threads")
+            .inc(prof.overflowThreads);
+        reg.histogram(p + ".thread_size").merge(prof.threadSize);
+        reg.histogram(p + ".arc_distance").merge(prof.arcDistance);
+    }
 }
 
 } // namespace jrpm

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "cpu/hooks.hh"
 
@@ -159,6 +160,9 @@ class TestProfiler : public ProfileHook
     /** Forget everything (reprofiling). */
     void reset();
 
+    /** Register per-loop profile counters under "tracer.". */
+    void publishMetrics(MetricsRegistry &reg) const;
+
   private:
     struct Bank
     {
@@ -198,8 +202,8 @@ class TestProfiler : public ProfileHook
     void recordLoadEvent(Cycle store_ts, Cycle now, ArcSite site);
     void recordLineAccess(Addr addr, bool is_store);
     void finishThread(Bank &bank, Cycle now);
-    void flushBank(Bank &bank);
-    Bank *allocateBank(std::int32_t loop_id);
+    void flushBank(Bank &bank, Cycle now);
+    Bank *allocateBank(std::int32_t loop_id, Cycle now);
     void capTable();
 };
 

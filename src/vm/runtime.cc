@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace jrpm
 {
@@ -150,6 +152,8 @@ VmRuntime::allocate(std::uint32_t cpu, Word class_word,
             top = gtop;
             end = gtop + chunk;
             cycles += m.trapStoreWord(cpu, localEndAddr[cpu], end);
+            JRPM_TRACE(static_cast<std::uint8_t>(cpu),
+                       TraceEvt::AllocRefill, m.now(), 0, chunk);
         }
         base = top;
         cycles += m.trapStoreWord(cpu, localTopAddr[cpu],
@@ -163,6 +167,8 @@ VmRuntime::allocate(std::uint32_t cpu, Word class_word,
             fatal("speculative allocation exhausted the heap");
         base = top;
         cycles += m.trapStoreWord(cpu, globalTopAddr, top + total);
+        JRPM_TRACE(static_cast<std::uint8_t>(cpu),
+                   TraceEvt::AllocSerialized, m.now(), 0, total);
     }
 
     ref = base + 8;
@@ -198,6 +204,8 @@ VmRuntime::collect(std::uint32_t cpu)
     (void)cpu;
     MainMemory &mem = m.memory();
     ++vmStats.gcRuns;
+    JRPM_TRACE(static_cast<std::uint8_t>(cpu), TraceEvt::GcBegin,
+               m.now(), 0, objects.size());
 
     std::set<Addr> marked;
     std::vector<Addr> work;
@@ -254,11 +262,17 @@ VmRuntime::collect(std::uint32_t cpu)
         cfg.gcCyclesPerSweptObject *
             static_cast<double>(objects.size() + freed));
     vmStats.gcCycles += cost;
+    JRPM_TRACE(static_cast<std::uint8_t>(cpu), TraceEvt::GcEnd,
+               m.now(), 0, freed,
+               static_cast<std::uint32_t>(
+                   std::min<std::uint64_t>(cost, 0xffffffff)));
 }
 
 std::uint32_t
 VmRuntime::trap(Machine &machine, std::uint32_t cpu, TrapId id)
 {
+    JRPM_TRACE(static_cast<std::uint8_t>(cpu), TraceEvt::VmTrap,
+               machine.now(), static_cast<std::int32_t>(id));
     switch (id) {
       case TrapId::AllocObject: {
         const Word cls = machine.reg(cpu, R_A0);
@@ -329,6 +343,19 @@ VmRuntime::trap(Machine &machine, std::uint32_t cpu, TrapId id)
       default:
         panic("unknown trap %d", static_cast<int>(id));
     }
+}
+
+void
+VmRuntime::publishMetrics(MetricsRegistry &reg) const
+{
+    reg.counter("vm.allocations").inc(vmStats.allocations);
+    reg.counter("vm.allocated_bytes").inc(vmStats.allocatedBytes);
+    reg.counter("vm.gc.runs").inc(vmStats.gcRuns);
+    reg.counter("vm.gc.cycles").inc(vmStats.gcCycles);
+    reg.counter("vm.gc.freed_objects").inc(vmStats.gcFreedObjects);
+    reg.counter("vm.monitor_enters").inc(vmStats.monitorEnters);
+    reg.gauge("vm.live_objects")
+        .set(static_cast<double>(objects.size()));
 }
 
 } // namespace jrpm

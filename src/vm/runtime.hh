@@ -114,6 +114,9 @@ class VmRuntime : public RuntimeHooks
     /** Force a collection (testing). */
     void collect(std::uint32_t cpu);
 
+    /** Register allocation/GC/monitor counters under "vm.". */
+    void publishMetrics(MetricsRegistry &reg) const;
+
   private:
     Machine &m;
     VmConfig cfg;

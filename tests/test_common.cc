@@ -53,6 +53,57 @@ TEST(SampleStat, MergeCombinesStreams)
     EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(SampleStat, WelfordVarianceAndStddev)
+{
+    SampleStat s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    // Classic textbook set: population variance 4, stddev 2.
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+
+    SampleStat one;
+    one.sample(42.0);
+    EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+}
+
+TEST(SampleStat, WelfordIsNumericallyStable)
+{
+    // Large offset + small spread defeats the naive sum-of-squares
+    // formulation; Welford keeps full precision.
+    SampleStat s;
+    const double base = 1e9;
+    for (double v : {base + 4.0, base + 7.0, base + 13.0, base + 16.0})
+        s.sample(v);
+    EXPECT_NEAR(s.mean(), base + 10.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 22.5, 1e-6);
+}
+
+TEST(SampleStat, MergeMatchesSingleStream)
+{
+    SampleStat whole, a, b;
+    const double vals[] = {1.0, 2.5, -3.0, 8.0, 0.25, 17.0, 4.0};
+    int i = 0;
+    for (double v : vals) {
+        whole.sample(v);
+        (i++ % 2 ? a : b).sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+    EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-12);
+
+    SampleStat empty;
+    empty.merge(whole);
+    EXPECT_NEAR(empty.variance(), whole.variance(), 1e-12);
+    whole.merge(SampleStat());
+    EXPECT_NEAR(whole.variance(), empty.variance(), 1e-12);
+}
+
 TEST(Histogram, BucketsAndOverflow)
 {
     Histogram h(10.0, 4);
