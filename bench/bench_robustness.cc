@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Robustness harness (ISSUE 2 acceptance experiment):
+ *
+ *  Phase A — oracle validation: every stock workload runs under the
+ *  strict differential oracle with faults off; the TLS memory image,
+ *  exit value and output stream must be bit-identical to the
+ *  sequential golden run.
+ *
+ *  Phase B — seeded fault campaign: --cases random fault plans are
+ *  injected into TLS runs (rotating over the selected workloads) and
+ *  each case is classified as recovered / detected-by-oracle /
+ *  caught-by-watchdog / degraded-by-governor.  A *silent divergence*
+ *  (result differs, nothing flagged) fails the harness.  Recovery
+ *  overhead is reported against each workload's fault-free TLS time.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+
+namespace jrpm
+{
+namespace bench
+{
+namespace
+{
+
+int
+robustnessMain(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    JrpmConfig cfg = benchConfig(opt);
+    if (opt.oracle.empty())
+        cfg.oracle.mode = OracleMode::Strict;
+    // Bound the watchdog so protocol-breaking faults (dropped
+    // wakeups) are diagnosed in bounded time per case.
+    cfg.sys.watchdog.noProgressCycles = 500'000;
+
+    const std::vector<Workload> workloads = selectWorkloads(opt);
+
+    // ---- Phase A: stock workloads must be oracle-clean. -------------
+    std::printf("Phase A: strict differential oracle, faults off\n");
+    std::printf("%-12s %-9s %-44s %s\n", "workload", "verdict",
+                "detail", "tls cycles");
+    std::map<std::string, std::uint64_t> cleanTlsCycles;
+    std::uint32_t divergences = 0;
+    for (const auto &w : workloads) {
+        JrpmConfig c = cfg;
+        c.faultPlan = {};
+        JrpmReport rep = runReport(w, c);
+        cleanTlsCycles[w.name] = rep.tls.cycles;
+        if (!rep.oracle.match())
+            ++divergences;
+        std::printf("%-12s %-9s %-44s %" PRIu64 "\n", w.name.c_str(),
+                    rep.oracle.match() ? "clean" : "DIVERGED",
+                    rep.oracle.match() ? "bit-identical to sequential"
+                                       : rep.oracle.summary().c_str(),
+                    rep.tls.cycles);
+    }
+    std::printf("Phase A: %u/%zu workloads oracle-clean\n\n",
+                static_cast<unsigned>(workloads.size() - divergences),
+                workloads.size());
+
+    // An explicit --fault-plan short-circuits the campaign: run it
+    // once on each workload and report.
+    if (!opt.faultPlan.empty()) {
+        std::printf("explicit fault plan: %s\n",
+                    cfg.faultPlan.describe().c_str());
+        for (const auto &w : workloads) {
+            JrpmReport rep = runReport(w, cfg);
+            std::printf("%-12s faults=%u watchdog=%d governor=%"
+                        PRIu64 " %s\n",
+                        w.name.c_str(), rep.tls.faultsInjected,
+                        rep.tls.watchdogFired ? 1 : 0,
+                        rep.tls.stats.governorAborts,
+                        rep.oracle.summary().c_str());
+        }
+        logReportSuppressed();
+        return divergences ? 1 : 0;
+    }
+
+    // ---- Phase B: seeded random fault campaign. ---------------------
+    std::printf("Phase B: %u-case fault campaign (seed %" PRIu64
+                ")\n", opt.cases, opt.seed);
+    std::uint32_t recovered = 0, oracleDetected = 0, watchdog = 0,
+                  degraded = 0, benign = 0, silent = 0;
+    double overheadSum = 0;
+    std::uint32_t overheadCases = 0;
+    for (std::uint32_t i = 0; i < opt.cases; ++i) {
+        const Workload &w = workloads[i % workloads.size()];
+        JrpmConfig c = cfg;
+        // Plans span the fault-free TLS duration so every event has
+        // a chance to land while speculation is active.
+        c.faultPlan = FaultPlan::random(
+            opt.seed + i, 1 + i % 4, 0,
+            std::max<std::uint64_t>(cleanTlsCycles[w.name], 1000));
+        JrpmReport rep = runReport(w, c);
+
+        const bool resultDiffers =
+            rep.tls.exitValue != rep.seqMain.exitValue ||
+            rep.tls.uncaught != rep.seqMain.uncaught ||
+            rep.tls.vm.output != rep.seqMain.vm.output;
+        const char *cls;
+        if (rep.tls.watchdogFired) {
+            cls = "watchdog";
+            ++watchdog;
+        } else if (!rep.oracle.match()) {
+            cls = "oracle-detected";
+            ++oracleDetected;
+        } else if (resultDiffers) {
+            // The oracle said clean but the result differs: the one
+            // forbidden outcome.
+            cls = "SILENT-DIVERGENCE";
+            ++silent;
+        } else if (rep.tls.stats.governorAborts) {
+            cls = "governor-degraded";
+            ++degraded;
+        } else if (rep.tls.faultsInjected) {
+            cls = "recovered";
+            ++recovered;
+        } else {
+            cls = "benign";
+            ++benign;
+        }
+        if (rep.tls.faultsInjected && !rep.tls.watchdogFired &&
+            rep.oracle.match() && cleanTlsCycles[w.name]) {
+            overheadSum += static_cast<double>(rep.tls.cycles) /
+                           static_cast<double>(
+                               cleanTlsCycles[w.name]);
+            ++overheadCases;
+        }
+        std::printf("  case %3u %-12s %-18s faults=%u (%s)\n", i,
+                    w.name.c_str(), cls, rep.tls.faultsInjected,
+                    c.faultPlan.describe().c_str());
+    }
+
+    const std::uint32_t flagged =
+        oracleDetected + watchdog;
+    std::printf("\ncampaign: %u cases — %u recovered, %u "
+                "oracle-detected, %u watchdog, %u governor-degraded, "
+                "%u benign, %u SILENT\n",
+                opt.cases, recovered, oracleDetected, watchdog,
+                degraded, benign, silent);
+    std::printf("detection: every non-clean outcome flagged "
+                "(%u flagged, %u silent)\n", flagged, silent);
+    if (overheadCases)
+        std::printf("recovery overhead: %sx mean TLS slowdown over "
+                    "%u recovered/degraded cases\n",
+                    fmt2(overheadSum /
+                         static_cast<double>(overheadCases)).c_str(),
+                    overheadCases);
+    logReportSuppressed();
+    return (divergences || silent) ? 1 : 0;
+}
+
+} // namespace
+} // namespace bench
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::bench::robustnessMain(argc, argv);
+}

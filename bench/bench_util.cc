@@ -1,6 +1,7 @@
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -23,10 +24,22 @@ parseArgs(int argc, char **argv)
             opt.traceOut = argv[i] + 12;
         } else if (!std::strncmp(argv[i], "--metrics-out=", 14)) {
             opt.metricsOut = argv[i] + 14;
+        } else if (!std::strncmp(argv[i], "--oracle=", 9)) {
+            opt.oracle = argv[i] + 9;
+        } else if (!std::strncmp(argv[i], "--fault-plan=", 13)) {
+            opt.faultPlan = argv[i] + 13;
+        } else if (!std::strncmp(argv[i], "--cases=", 8)) {
+            opt.cases = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 8, nullptr, 10));
+        } else if (!std::strncmp(argv[i], "--seed=", 7)) {
+            opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [--quick] [--only=<benchmark>] "
                         "[--trace-out=<path>] "
-                        "[--metrics-out=<path>]\n",
+                        "[--metrics-out=<path>] "
+                        "[--oracle=off|checksum|strict] "
+                        "[--fault-plan=<spec>] [--cases=<n>] "
+                        "[--seed=<n>]\n",
                         argv[0]);
             std::exit(0);
         }
@@ -60,6 +73,18 @@ benchConfig(const Options &opt)
     cfg.obs.metricsOut = opt.metricsOut;
     cfg.obs.traceEnabled =
         !opt.traceOut.empty() || !opt.metricsOut.empty();
+    if (!opt.oracle.empty()) {
+        if (opt.oracle == "off")
+            cfg.oracle.mode = OracleMode::Off;
+        else if (opt.oracle == "checksum")
+            cfg.oracle.mode = OracleMode::Checksum;
+        else if (opt.oracle == "strict")
+            cfg.oracle.mode = OracleMode::Strict;
+        else
+            fatal("unknown --oracle mode '%s'", opt.oracle.c_str());
+    }
+    if (!opt.faultPlan.empty())
+        cfg.faultPlan = FaultPlan::parse(opt.faultPlan);
     return cfg;
 }
 

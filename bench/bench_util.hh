@@ -6,11 +6,16 @@
  *   --only=<name>        restrict to one benchmark
  *   --trace-out=<path>   write a Chrome/Perfetto trace of the runs
  *   --metrics-out=<path> dump the metrics registry (.json for JSON)
+ *   --oracle=<mode>      off | checksum | strict differential oracle
+ *   --fault-plan=<spec>  inject faults (see FaultPlan::parse)
+ *   --cases=<n>          campaign size (bench_robustness)
+ *   --seed=<n>           campaign seed (bench_robustness)
  */
 
 #ifndef JRPM_BENCH_BENCH_UTIL_HH
 #define JRPM_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +34,10 @@ struct Options
     std::string only;
     std::string traceOut;    ///< --trace-out=<path>
     std::string metricsOut;  ///< --metrics-out=<path>
+    std::string oracle;      ///< --oracle=off|checksum|strict
+    std::string faultPlan;   ///< --fault-plan=<spec>
+    std::uint32_t cases = 100;      ///< --cases=<n>
+    std::uint64_t seed = 0x5eed;    ///< --seed=<n>
 };
 
 Options parseArgs(int argc, char **argv);

@@ -1,0 +1,248 @@
+#include "fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace jrpm
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SpuriousViolation: return "spurious";
+      case FaultKind::SuppressViolation: return "suppress";
+      case FaultKind::DropWakeup: return "drop";
+      case FaultKind::ShrinkStoreBuffer: return "shrink";
+      case FaultKind::CorruptCommit: return "corrupt";
+      case FaultKind::HandlerSpike: return "spike";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+kindFromName(const std::string &name, FaultKind &kind)
+{
+    for (std::uint32_t k = 0; k < kNumFaultKinds; ++k) {
+        if (name == faultKindName(static_cast<FaultKind>(k))) {
+            kind = static_cast<FaultKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitList(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(sep, start);
+        if (end == std::string::npos)
+            end = s.size();
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *what)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0')
+        fatal("fault plan: bad %s '%s'", what, s.c_str());
+    return v;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, std::uint32_t count,
+                  std::uint64_t minCycle, std::uint64_t maxCycle)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    if (maxCycle <= minCycle)
+        maxCycle = minCycle + 1;
+    Rng rng(seed);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        FaultEvent e;
+        e.kind = static_cast<FaultKind>(rng.next() % kNumFaultKinds);
+        e.at = minCycle + rng.next() % (maxCycle - minCycle);
+        switch (e.kind) {
+          case FaultKind::ShrinkStoreBuffer:
+            e.arg = 2 + rng.below(15); // 2..16 lines
+            break;
+          case FaultKind::HandlerSpike:
+            e.arg = 5 + rng.below(46); // 5x..50x
+            break;
+          default:
+            e.arg = static_cast<std::uint32_t>(rng.next());
+            break;
+        }
+        plan.events.push_back(e);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    if (spec.empty())
+        return plan;
+    if (spec.rfind("random:", 0) == 0) {
+        std::vector<std::string> parts = splitList(spec, ':');
+        if (parts.size() != 4)
+            fatal("fault plan: expected random:SEED:COUNT:MAXCYCLE, "
+                  "got '%s'", spec.c_str());
+        const std::uint64_t seed = parseU64(parts[1], "seed");
+        const std::uint64_t count = parseU64(parts[2], "count");
+        const std::uint64_t maxCycle = parseU64(parts[3], "maxcycle");
+        return random(seed, static_cast<std::uint32_t>(count), 0,
+                      maxCycle);
+    }
+    for (const std::string &item : splitList(spec, ',')) {
+        const std::size_t atPos = item.find('@');
+        if (atPos == std::string::npos)
+            fatal("fault plan: expected kind@cycle[:arg], got '%s'",
+                  item.c_str());
+        FaultEvent e;
+        if (!kindFromName(item.substr(0, atPos), e.kind))
+            fatal("fault plan: unknown fault kind '%s'",
+                  item.substr(0, atPos).c_str());
+        std::string rest = item.substr(atPos + 1);
+        const std::size_t argPos = rest.find(':');
+        if (argPos != std::string::npos) {
+            e.arg = static_cast<std::uint32_t>(
+                parseU64(rest.substr(argPos + 1), "arg"));
+            rest = rest.substr(0, argPos);
+        }
+        e.at = parseU64(rest, "cycle");
+        plan.events.push_back(e);
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (events.empty())
+        return "none";
+    std::string out;
+    if (seed)
+        out = strfmt("seed=0x%llx ",
+                     static_cast<unsigned long long>(seed));
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i)
+            out += ",";
+        out += strfmt("%s@%llu", faultKindName(events[i].kind),
+                      static_cast<unsigned long long>(events[i].at));
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+{
+    for (const FaultEvent &e : plan.events)
+        pending[static_cast<std::uint32_t>(e.kind)].push_back(
+            {e.at, e.arg});
+    for (auto &queue : pending) {
+        std::sort(queue.begin(), queue.end(),
+                  [](const Pending &a, const Pending &b) {
+                      return a.at < b.at;
+                  });
+        armedCount += static_cast<std::uint32_t>(queue.size());
+    }
+}
+
+bool
+FaultInjector::due(FaultKind kind, std::uint64_t cycle,
+                   std::uint32_t &arg)
+{
+    const std::uint32_t k = static_cast<std::uint32_t>(kind);
+    std::vector<Pending> &queue = pending[k];
+    if (next[k] >= queue.size() || queue[next[k]].at > cycle)
+        return false;
+    arg = queue[next[k]].arg;
+    ++next[k];
+    ++firedCount[k];
+    --armedCount;
+    firedLog.push_back(strfmt("cycle %llu: %s (arg 0x%x)",
+                              static_cast<unsigned long long>(cycle),
+                              faultKindName(kind), arg));
+    return true;
+}
+
+bool
+FaultInjector::dueSpurious(std::uint64_t cycle, std::uint32_t &arg)
+{
+    return due(FaultKind::SpuriousViolation, cycle, arg);
+}
+
+bool
+FaultInjector::dueSuppress(std::uint64_t cycle)
+{
+    std::uint32_t arg = 0;
+    return due(FaultKind::SuppressViolation, cycle, arg);
+}
+
+bool
+FaultInjector::dueDropWakeup(std::uint64_t cycle)
+{
+    std::uint32_t arg = 0;
+    return due(FaultKind::DropWakeup, cycle, arg);
+}
+
+bool
+FaultInjector::dueShrink(std::uint64_t cycle, std::uint32_t &newLimit)
+{
+    if (!due(FaultKind::ShrinkStoreBuffer, cycle, newLimit))
+        return false;
+    if (newLimit == 0)
+        newLimit = 8;
+    return true;
+}
+
+bool
+FaultInjector::dueCorrupt(std::uint64_t cycle, std::uint64_t &pick)
+{
+    std::uint32_t arg = 0;
+    if (!due(FaultKind::CorruptCommit, cycle, arg))
+        return false;
+    // Spread the pick over bytes and bits even for small args.
+    pick = (static_cast<std::uint64_t>(arg) << 3) ^ cycle;
+    return true;
+}
+
+std::uint32_t
+FaultInjector::handlerMultiplier(std::uint64_t cycle)
+{
+    std::uint32_t arg = 0;
+    if (due(FaultKind::HandlerSpike, cycle, arg)) {
+        spikeMult = arg ? arg : 25;
+        spikeUntil = cycle + kSpikeWindow;
+    }
+    return cycle < spikeUntil ? spikeMult : 1;
+}
+
+std::uint32_t
+FaultInjector::firedTotal() const
+{
+    std::uint32_t total = 0;
+    for (std::uint32_t c : firedCount)
+        total += c;
+    return total;
+}
+
+} // namespace jrpm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic fault injection for the TLS robustness harness.
+ *
+ * A FaultPlan is a seeded, ordered list of fault events ("at cycle C,
+ * inject fault K with argument A").  The Machine consults a
+ * FaultInjector built from the plan at well-defined hook points
+ * (violation detection, slave wakeup, commit, handler charging), so a
+ * given plan replays bit-identically.  The injector never acts on its
+ * own; it only answers "is an event of this kind due now?" and
+ * records what actually fired.
+ */
+
+#ifndef JRPM_COMMON_FAULT_HH
+#define JRPM_COMMON_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrpm
+{
+
+/** The injectable fault classes (ISSUE 2 fault model). */
+enum class FaultKind : std::uint8_t
+{
+    SpuriousViolation,   ///< violate a CPU that did nothing wrong
+    SuppressViolation,   ///< swallow one real violation detection
+    DropWakeup,          ///< lose one slave wakeup (iteration hole)
+    ShrinkStoreBuffer,   ///< cut store-buffer capacity mid-STL
+    CorruptCommit,       ///< flip one buffered bit before commit
+    HandlerSpike,        ///< multiply handler latencies for a window
+};
+
+constexpr std::uint32_t kNumFaultKinds = 6;
+
+/** Short stable name ("spurious", "drop", ...) for logs and flags. */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::SpuriousViolation;
+    /** Earliest cycle at which the event may fire; it fires at the
+     *  first matching hook reached at or after this cycle. */
+    std::uint64_t at = 0;
+    /** Kind-specific argument (victim selector, new line cap, bit
+     *  pick, latency multiplier); 0 means the kind's default. */
+    std::uint32_t arg = 0;
+};
+
+/** A reproducible fault campaign for one run. */
+struct FaultPlan
+{
+    /** Seed recorded for reporting; random() fills it in. */
+    std::uint64_t seed = 0;
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * A seeded random plan of @p count events with trigger cycles
+     * drawn uniformly from [minCycle, maxCycle).
+     */
+    static FaultPlan random(std::uint64_t seed, std::uint32_t count,
+                            std::uint64_t minCycle,
+                            std::uint64_t maxCycle);
+
+    /**
+     * Parse a plan spec: comma-separated "kind@cycle[:arg]" events
+     * (kinds: spurious, suppress, drop, shrink, corrupt, spike), or
+     * "random:SEED:COUNT:MAXCYCLE" for a seeded campaign.  Calls
+     * fatal() on a malformed spec.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Human-readable one-line summary of the plan. */
+    std::string describe() const;
+};
+
+/**
+ * Consumes a FaultPlan during one run.  Each due*() hook returns true
+ * at most once per scheduled event, at the first call at or after the
+ * event's trigger cycle, and records the firing.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /** True if any event is still pending (cheap early-out). */
+    bool armed() const { return armedCount > 0; }
+
+    /** Due: raise a violation with no real dependence.  @p arg is
+     *  the victim selector (machine maps it onto a running CPU). */
+    bool dueSpurious(std::uint64_t cycle, std::uint32_t &arg);
+
+    /** Due: drop the violation being detected right now. */
+    bool dueSuppress(std::uint64_t cycle);
+
+    /** Due: skip the slave wakeup being issued right now. */
+    bool dueDropWakeup(std::uint64_t cycle);
+
+    /** Due: clamp the store buffer to @p newLimit lines (arg,
+     *  default 8). */
+    bool dueShrink(std::uint64_t cycle, std::uint32_t &newLimit);
+
+    /** Due: corrupt one buffered byte; @p pick selects the victim
+     *  byte and bit deterministically. */
+    bool dueCorrupt(std::uint64_t cycle, std::uint64_t &pick);
+
+    /**
+     * Latency multiplier for TLS handlers at @p cycle.  When a
+     * HandlerSpike event is due this opens a kSpikeWindow-cycle
+     * window during which handlers cost arg x (default 25x); outside
+     * any window the multiplier is 1.
+     */
+    std::uint32_t handlerMultiplier(std::uint64_t cycle);
+
+    std::uint32_t fired(FaultKind kind) const
+    {
+        return firedCount[static_cast<std::uint32_t>(kind)];
+    }
+    std::uint32_t firedTotal() const;
+
+    /** Chronological record of events that actually fired. */
+    const std::vector<std::string> &log() const { return firedLog; }
+
+    static constexpr std::uint64_t kSpikeWindow = 10'000;
+
+  private:
+    /** Fire the next pending event of @p kind due at @p cycle. */
+    bool due(FaultKind kind, std::uint64_t cycle, std::uint32_t &arg);
+
+    struct Pending
+    {
+        std::uint64_t at;
+        std::uint32_t arg;
+    };
+
+    std::array<std::vector<Pending>, kNumFaultKinds> pending;
+    std::array<std::uint32_t, kNumFaultKinds> next{};
+    std::array<std::uint32_t, kNumFaultKinds> firedCount{};
+    std::uint32_t armedCount = 0;
+    std::uint64_t spikeUntil = 0;
+    std::uint32_t spikeMult = 1;
+    std::vector<std::string> firedLog;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_FAULT_HH

@@ -1,7 +1,9 @@
 #include "logging.hh"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <vector>
 
 namespace jrpm
@@ -11,6 +13,11 @@ namespace
 {
 
 bool quietFlag = false;
+
+/** Occurrences seen per throttle key (see warnThrottled). */
+std::map<std::string, std::uint64_t> throttleCounts;
+
+constexpr std::uint64_t kThrottleVerbatim = 5;
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
@@ -62,6 +69,48 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("info", fmt, ap);
     va_end(ap);
+}
+
+void
+warnThrottled(const std::string &key, const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    std::uint64_t &count = throttleCounts[key];
+    ++count;
+    if (count <= kThrottleVerbatim) {
+        va_list ap;
+        va_start(ap, fmt);
+        vreport("warn", fmt, ap);
+        va_end(ap);
+        return;
+    }
+    // Print decade milestones only: 10th, 100th, 1000th, ...
+    std::uint64_t milestone = 10;
+    while (milestone < count)
+        milestone *= 10;
+    if (count == milestone)
+        std::fprintf(stderr,
+                     "warn: [%s] repeated %llu times "
+                     "(similar messages suppressed)\n",
+                     key.c_str(),
+                     static_cast<unsigned long long>(count));
+}
+
+void
+logReportSuppressed()
+{
+    for (const auto &[key, count] : throttleCounts) {
+        if (count > kThrottleVerbatim && !quietFlag)
+            std::fprintf(stderr,
+                         "info: [%s] %llu similar warnings in total "
+                         "(%llu suppressed)\n",
+                         key.c_str(),
+                         static_cast<unsigned long long>(count),
+                         static_cast<unsigned long long>(
+                             count - kThrottleVerbatim));
+    }
+    throttleCounts.clear();
 }
 
 void

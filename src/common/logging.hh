@@ -28,6 +28,22 @@ namespace jrpm
 /** Print a warning; the simulation continues. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Like warn(), but repeated messages sharing @p key are throttled: the
+ * first few occurrences print verbatim, after which only decade
+ * milestones (10th, 100th, ...) print a one-line "suppressed" summary.
+ * Violation and overflow storms would otherwise emit one line per
+ * squashed iteration.
+ */
+void warnThrottled(const std::string &key, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Report the total suppressed count per throttle key and reset the
+ * throttle state (call at end of run).
+ */
+void logReportSuppressed();
+
 /** Print an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 

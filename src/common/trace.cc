@@ -61,6 +61,9 @@ traceEvtName(TraceEvt e)
       case TraceEvt::BankExhausted: return "bank_exhausted";
       case TraceEvt::ProfileFlushed: return "profile_flushed";
       case TraceEvt::Phase: return "phase";
+      case TraceEvt::WatchdogFired: return "watchdog_fired";
+      case TraceEvt::GovernorDegrade: return "governor_degrade";
+      case TraceEvt::FaultInjected: return "fault_injected";
     }
     return "?";
 }

@@ -70,6 +70,9 @@ enum class TraceEvt : std::uint8_t
     BankExhausted,   ///< arg0 = loopId; entry skipped, no bank free
     ProfileFlushed,  ///< arg0 = loopId, arg1 = iterations observed
     Phase,           ///< pipeline phase marker (host track)
+    WatchdogFired,   ///< arg0 = loopId, arg1 = head iteration
+    GovernorDegrade, ///< arg0 = loopId, arg1 = violations, arg2 = commits
+    FaultInjected,   ///< arg0 = FaultKind, arg1 = kind-specific
 };
 
 /**

@@ -21,7 +21,16 @@ JrpmSystem::JrpmSystem(Workload workload, JrpmConfig config)
 RunOutcome
 JrpmSystem::runOn(Machine &m, const std::vector<Word> &args)
 {
-    VmRuntime vm(m, cfg.vm);
+    VmConfig vmCfg = cfg.vm;
+    if (cfg.oracle.mode != OracleMode::Off &&
+        cfg.oracle.serializeAllocators) {
+        // Heap layout must be bit-identical between the sequential
+        // golden run and the TLS run for a memory compare to mean
+        // anything, so the §5.2 per-CPU allocation buffers are off
+        // for *both* (sequential runs never use them anyway).
+        vmCfg.speculativeAllocators = false;
+    }
+    VmRuntime vm(m, vmCfg);
     m.setRuntime(&vm);
     m.start(load.program.entryMethod, args, cfg.vm.stackTop);
     vm.prepare();
@@ -43,6 +52,16 @@ JrpmSystem::runOn(Machine &m, const std::vector<Word> &args)
     out.l1Misses = m.l1Misses();
     out.l2Hits = m.l2Hits();
     out.l2Misses = m.l2Misses();
+    out.watchdogFired = m.watchdogFired();
+    if (cfg.oracle.mode != OracleMode::Off) {
+        const auto skip =
+            VmRuntime::scratchRegions(vmCfg, cfg.sys.numCpus);
+        out.memChecksum = m.memoryChecksum(skip);
+        if (cfg.oracle.mode == OracleMode::Strict)
+            out.memImage = std::make_shared<
+                const std::vector<std::uint8_t>>(
+                m.memorySnapshot());
+    }
     auto &reg = MetricsRegistry::global();
     m.publishMetrics(reg);
     vm.publishMetrics(reg);
@@ -73,12 +92,20 @@ JrpmSystem::runTls(const std::vector<Word> &args,
     if (JRPM_TRACE_ON())
         Trace::global().beginPhase("tls");
     Machine m(cfg.sys);
+    FaultInjector inj(cfg.faultPlan);
+    if (inj.armed()) {
+        inform("fault plan armed: %s",
+               cfg.faultPlan.describe().c_str());
+        m.setFaultInjector(&inj);
+    }
     std::vector<StlRequest> reqs;
     reqs.reserve(selections.size());
     for (const auto &sel : selections)
         reqs.push_back({sel.loopId, sel.plan});
     theJit.compileAll(m.codeSpace(), CompileMode::Tls, reqs);
-    return runOn(m, args);
+    RunOutcome out = runOn(m, args);
+    out.faultsInjected = inj.firedTotal();
+    return out;
 }
 
 std::vector<SelectedStl>
@@ -275,6 +302,29 @@ JrpmSystem::run()
                        rep.seqMain.exitValue == rep.tls.exitValue &&
                        rep.seqMain.vm.output == rep.tls.vm.output;
 
+    // Differential oracle: the TLS run's final memory image must be
+    // the sequential run's, bit for bit outside the VM scratch words.
+    if (cfg.oracle.mode != OracleMode::Off) {
+        auto digest = [](const RunOutcome &o) {
+            RunDigest d;
+            d.halted = o.halted;
+            d.uncaught = o.uncaught;
+            d.exitValue = o.exitValue;
+            d.output = o.vm.output;
+            d.memChecksum = o.memChecksum;
+            d.memImage = o.memImage;
+            return d;
+        };
+        rep.oracle = Oracle::compare(
+            cfg.oracle, digest(rep.seqMain), digest(rep.tls),
+            VmRuntime::scratchRegions(cfg.vm, cfg.sys.numCpus));
+        if (!rep.oracle.match()) {
+            rep.outputsMatch = false;
+            warn("%s: %s", load.name.c_str(),
+                 rep.oracle.summary().c_str());
+        }
+    }
+
     rep.topViolations = rep.tls.stats.topViolationAddrs(10);
 
     // Observability exports.
@@ -291,6 +341,12 @@ JrpmSystem::run()
         reg.gauge(p + ".actual_speedup").set(rep.actualSpeedup);
         reg.gauge(p + ".total_speedup").set(rep.totalSpeedup);
         reg.counter(p + ".selected_stls").inc(rep.selections.size());
+        if (rep.oracle.compared)
+            reg.gauge(p + ".oracle_match")
+                .set(rep.oracle.match() ? 1.0 : 0.0);
+        if (rep.tls.faultsInjected)
+            reg.counter(p + ".faults_injected")
+                .inc(rep.tls.faultsInjected);
     }
     if (!cfg.obs.traceOut.empty())
         Trace::global().writeChromeJson(cfg.obs.traceOut);

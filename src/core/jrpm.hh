@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "bytecode/bytecode.hh"
+#include "common/fault.hh"
+#include "core/oracle.hh"
 #include "jit/compiler.hh"
 #include "profile/analyzer.hh"
 #include "tls/machine.hh"
@@ -75,6 +77,10 @@ struct JrpmConfig
     VmConfig vm;
     TracerConfig tracer;
     ObsConfig obs;
+    /** Differential oracle against the sequential golden run. */
+    OracleConfig oracle;
+    /** Faults injected into the TLS run (robustness harness). */
+    FaultPlan faultPlan;
     /** microJIT speed model: cycles per bytecode compiled. */
     double cyclesPerBytecodeCompile = 250.0;
     /** recompilation touches only STL-bearing methods. */
@@ -97,6 +103,11 @@ struct RunOutcome
     std::uint64_t l1Misses = 0;
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0;
+    /** Oracle capture (zero / null when the oracle is off). */
+    std::uint64_t memChecksum = 0;
+    std::shared_ptr<const std::vector<std::uint8_t>> memImage;
+    bool watchdogFired = false;
+    std::uint32_t faultsInjected = 0;
 };
 
 /** Fig. 9 lifecycle components, in cycles. */
@@ -132,6 +143,7 @@ struct JrpmReport
     double actualSpeedup = 1.0;      ///< Fig. 8 right bar (inverse)
     double totalSpeedup = 1.0;       ///< Fig. 9
     bool outputsMatch = false;       ///< TLS == sequential results
+    OracleReport oracle;             ///< differential verdict
 
     /** Hottest violating store addresses of the TLS run, count-desc. */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> topViolations;

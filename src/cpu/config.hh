@@ -44,6 +44,45 @@ struct HandlerCosts
     }
 };
 
+/**
+ * Forward-progress watchdog over the TLS commit protocol.  If no head
+ * thread commits (and no STL boundary is crossed) for
+ * @ref noProgressCycles consecutive cycles while speculation is
+ * active, the protocol has deadlocked (lost wakeup, iteration hole,
+ * handler bug): the machine dumps diagnostics, squashes all
+ * speculative work and halts the run with a diagnostic
+ * ExcKind::Watchdog outcome instead of spinning to the cycle limit.
+ */
+struct WatchdogConfig
+{
+    bool enabled = true;
+    /** Max cycles between head commits inside an STL.  Generous by
+     *  default: stock threads are ~10^3-10^4 cycles, and a head
+     *  waiting out a memory stall chain never approaches this. */
+    std::uint64_t noProgressCycles = 2'000'000;
+};
+
+/**
+ * Per-loop speculation governor (graceful degradation).  Tracks each
+ * loop's squash and overflow-stall rates at runtime; a loop whose
+ * misbehaviour exceeds the thresholds is aborted at the next head
+ * commit, blacklisted for the rest of the run, and re-entered in
+ * "solo" mode: the STL code keeps running, but only the head thread
+ * executes (all iterations in order, no slaves) — sequential
+ * semantics with only the handler overheads, the paper's
+ * decompilation safety net.
+ */
+struct GovernorConfig
+{
+    bool enabled = true;
+    /** Commits + violations observed before the rates are judged. */
+    std::uint32_t minSamples = 48;
+    /** Abort when violations exceed this multiple of commits. */
+    double maxViolationsPerCommit = 6.0;
+    /** Abort when overflow stalls exceed this multiple of commits. */
+    double maxOverflowPerCommit = 12.0;
+};
+
 /** Whole-machine configuration. */
 struct SystemConfig
 {
@@ -68,6 +107,8 @@ struct SystemConfig
 
     SpecBufferConfig specBuffers;
     HandlerCosts handlers;
+    WatchdogConfig watchdog;
+    GovernorConfig governor;
 
     /** Cycles charged per runtime trap before its memory traffic. */
     std::uint32_t trapBaseCycles = 10;

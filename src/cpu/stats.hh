@@ -45,6 +45,11 @@ struct ExecStats
     std::uint64_t stlEntries = 0;
     std::uint64_t bufferOverflowStalls = 0;
 
+    std::uint64_t watchdogFires = 0;  ///< forward-progress timeouts
+    std::uint64_t governorAborts = 0; ///< STLs degraded to solo mode
+    /** Violations whose detection was suppressed (fault injection). */
+    std::uint64_t violationsSuppressed = 0;
+
     static constexpr std::size_t kMaxViolationAddrs = 128;
 
     /** Count one violation against @p addr, respecting the cap. */
@@ -103,6 +108,10 @@ struct StlRuntimeStats
     SampleStat loadLines;        ///< speculatively-read lines/thread
     SampleStat storeLines;       ///< store-buffer lines/thread
     std::uint64_t cyclesInside = 0; ///< wall cycles with this STL active
+
+    std::uint64_t overflowStalls = 0; ///< buffer-overflow stalls here
+    std::uint64_t soloEntries = 0;    ///< entries run head-only
+    std::uint64_t governorAborts = 0; ///< governor trips on this loop
 };
 
 /** Per-loop-id runtime stats for a whole program run. */

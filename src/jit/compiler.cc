@@ -1615,10 +1615,7 @@ MethodCompiler::emitStlBlocks(SelPlan &plan)
         if (!regMap.count(slot))
             continue;
         const std::uint8_t sreg = regMap.at(slot);
-        if (vp.cls == VarClass::Inductor) {
-            a.aluRI(Op::ADDIU, sreg, sreg,
-                    vp.step * static_cast<std::int32_t>(cfg.numCpus));
-        } else if (vp.cls == VarClass::Reduction) {
+        if (vp.cls == VarClass::Reduction) {
             emitReductionSlotAddr(plan, slot, kScr1);
             a.store(Op::SW, sreg, kScr1, 0);
         }
@@ -1628,15 +1625,27 @@ MethodCompiler::emitStlBlocks(SelPlan &plan)
     a.scop(ScopCmd::WaitHead);
     a.smem(SmemCmd::CommitBufferAndHead);
     a.scop(ScopCmd::AdvanceCache);
-    // Reload carried values and recompute reset-able inductors for
-    // the next iteration.
+    // Reload carried values, recompute inductors for the new
+    // iteration number, and recompute reset-able inductors.  The
+    // inductor recompute (home + step * iteration, as at STL_INIT)
+    // rather than a baked-in step*numCpus register advance keeps the
+    // value correct for any iteration-assignment pattern, including
+    // the governor's head-only degraded mode.
     for (const auto &[slot, vp] : plan.vars) {
         if (!regMap.count(slot))
             continue;
-        if (vp.cls == VarClass::Carried)
+        if (vp.cls == VarClass::Carried) {
             a.load(Op::LW, regMap.at(slot), R_FP, homeOff(slot));
-        else if (vp.cls == VarClass::Resetable)
+        } else if (vp.cls == VarClass::Inductor) {
+            const std::uint8_t sreg = regMap.at(slot);
+            a.mfc2(kScr1, Cp2Reg::Iteration);
+            a.li(kScr2, vp.step);
+            a.aluRR(Op::MUL, kScr1, kScr1, kScr2);
+            a.load(Op::LW, sreg, R_FP, homeOff(slot));
+            a.aluRR(Op::ADDU, sreg, sreg, kScr1);
+        } else if (vp.cls == VarClass::Resetable) {
             emitResetableCompute(plan, slot, vp);
+        }
     }
     a.jump(bcLabel[plan.loop->header]);
 

@@ -37,10 +37,26 @@ LoopNest::innermostAt(std::int32_t bc) const
 const JitLoop &
 LoopNest::byId(std::int32_t loop_id) const
 {
+    if (const JitLoop *l = tryById(loop_id))
+        return *l;
+    panic("unknown loop id %d", loop_id);
+}
+
+const JitLoop *
+LoopNest::tryById(std::int32_t loop_id) const
+{
     for (const auto &l : loops)
         if (l.loopId == loop_id)
-            return l;
-    panic("unknown loop id %d", loop_id);
+            return &l;
+    return nullptr;
+}
+
+std::string
+describeLoop(const JitLoop &loop)
+{
+    return strfmt("loop %d (header bc %d, depth %u, %zu bytecodes)",
+                  loop.loopId, loop.header, loop.depth,
+                  loop.body.size());
 }
 
 LoopNest

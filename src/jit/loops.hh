@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "bytecode/bytecode.hh"
@@ -39,7 +40,15 @@ struct LoopNest
 
     /** Loop with a given id (must exist). */
     const JitLoop &byId(std::int32_t loop_id) const;
+
+    /** Loop with a given id, or nullptr — for diagnostic paths that
+     *  must not panic on an id from another method's nest. */
+    const JitLoop *tryById(std::int32_t loop_id) const;
 };
+
+/** One-line description of a loop for diagnostics, e.g.
+ *  "loop 3 (header bc 12, depth 2, 17 bytecodes)". */
+std::string describeLoop(const JitLoop &loop);
 
 /**
  * Find the natural loops of a method.

@@ -1,5 +1,7 @@
 #include "main_memory.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace jrpm
@@ -80,6 +82,34 @@ MainMemory::clear(Addr addr, std::uint32_t len)
     if (!valid(addr, len))
         panic("clear out of range at 0x%08x+%u", addr, len);
     std::fill(data.begin() + addr, data.begin() + addr + len, 0);
+}
+
+std::uint64_t
+MainMemory::checksum(
+    const std::vector<std::pair<Addr, std::uint32_t>> &skip) const
+{
+    constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    std::uint64_t h = kOffset;
+    std::size_t at = 0;
+    auto mix = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            h ^= data[i];
+            h *= kPrime;
+        }
+    };
+    for (const auto &[base, len] : skip) {
+        const std::size_t lo = std::min<std::size_t>(base,
+                                                     data.size());
+        const std::size_t hi = std::min<std::size_t>(
+            static_cast<std::size_t>(base) + len, data.size());
+        if (lo < at)
+            panic("checksum skip regions unsorted at 0x%08x", base);
+        mix(at, lo);
+        at = hi;
+    }
+    mix(at, data.size());
+    return h;
 }
 
 } // namespace jrpm

@@ -11,6 +11,7 @@
 #define JRPM_MEMORY_MAIN_MEMORY_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -48,6 +49,18 @@ class MainMemory
 
     /** Zero-fill a region (heap initialization). */
     void clear(Addr addr, std::uint32_t len);
+
+    /** Raw byte image (differential oracle snapshots). */
+    const std::vector<std::uint8_t> &bytes() const { return data; }
+
+    /**
+     * FNV-1a 64-bit checksum of the whole image, skipping the given
+     * [base, base+len) regions.  @p skip must be sorted by base and
+     * non-overlapping.
+     */
+    std::uint64_t
+    checksum(const std::vector<std::pair<Addr, std::uint32_t>> &skip =
+                 {}) const;
 
   private:
     std::vector<std::uint8_t> data;

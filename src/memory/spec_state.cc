@@ -1,5 +1,7 @@
 #include "spec_state.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "memory/main_memory.hh"
 
@@ -14,9 +16,49 @@ StoreBuffer::StoreBuffer(const SpecBufferConfig &cfg)
 bool
 StoreBuffer::wouldOverflow(Addr addr) const
 {
-    if (lines.size() < config.storeBufferLines)
+    std::uint32_t cap = config.storeBufferLines;
+    if (lineLimit && lineLimit < cap)
+        cap = lineLimit;
+    if (lines.size() < cap)
         return false;
     return lines.find(lineBase(addr)) == lines.end();
+}
+
+void
+StoreBuffer::limitLines(std::uint32_t n)
+{
+    lineLimit = n;
+}
+
+bool
+StoreBuffer::corruptOneByte(std::uint64_t pick, Addr &corrupted)
+{
+    // Count the buffered bytes, then walk to the pick-th one in
+    // line-base order so the victim is stable for a given buffer
+    // content regardless of hash-map iteration order.
+    std::vector<Addr> bases = bufferedLines();
+    std::sort(bases.begin(), bases.end());
+    std::uint64_t total = 0;
+    for (Addr base : bases)
+        total += static_cast<std::uint64_t>(
+            __builtin_popcount(lines.at(base).mask));
+    if (total == 0)
+        return false;
+    std::uint64_t target = pick % total;
+    for (Addr base : bases) {
+        Line &line = lines.at(base);
+        for (std::uint32_t b = 0; b < config.lineBytes; ++b) {
+            if (!(line.mask & (1u << b)))
+                continue;
+            if (target-- == 0) {
+                line.bytes[b] ^= static_cast<std::uint8_t>(
+                    1u << (pick % 8));
+                corrupted = base + b;
+                return true;
+            }
+        }
+    }
+    return false; // unreachable
 }
 
 void

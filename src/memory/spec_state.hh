@@ -79,6 +79,22 @@ class StoreBuffer
     /** Distinct buffered line addresses (TEST reuses the buffers). */
     std::vector<Addr> bufferedLines() const;
 
+    /**
+     * Override the usable line capacity downward (fault injection:
+     * a failing buffer bank).  0 restores the configured capacity;
+     * values above the configured capacity are clamped to it.
+     */
+    void limitLines(std::uint32_t lines);
+
+    /**
+     * Flip one bit of one currently-buffered byte (fault injection:
+     * a soft error in the speculative buffer before commit).  The
+     * victim byte is chosen deterministically from @p pick.
+     * @return true and the corrupted address if any byte was
+     *         buffered; false on an empty buffer.
+     */
+    bool corruptOneByte(std::uint64_t pick, Addr &corrupted);
+
   private:
     struct Line
     {
@@ -87,6 +103,7 @@ class StoreBuffer
     };
 
     SpecBufferConfig config;
+    std::uint32_t lineLimit = 0;              ///< 0 = configured cap
     std::unordered_map<Addr, Line> lines;     ///< keyed by line base
 
     Addr lineBase(Addr addr) const

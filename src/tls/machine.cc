@@ -23,6 +23,19 @@ sext(Word v, unsigned bits)
 
 } // namespace
 
+const char *
+excKindName(ExcKind kind)
+{
+    switch (kind) {
+      case ExcKind::Null: return "null";
+      case ExcKind::Bounds: return "bounds";
+      case ExcKind::Arithmetic: return "arithmetic";
+      case ExcKind::User: return "user";
+      case ExcKind::Watchdog: return "watchdog";
+    }
+    return "?";
+}
+
 Machine::Machine(const SystemConfig &config)
     : cfg(config),
       mem(config.memBytes),
@@ -62,6 +75,10 @@ Machine::start(std::uint32_t method_id, const std::vector<Word> &args,
     specActive = false;
     contextStack.clear();
     uncaughtExc = false;
+    lastHeadProgress = cycle;
+    watchdogTripped = false;
+    soloMode = false;
+    governorBlacklist.clear();
 }
 
 bool
@@ -89,6 +106,13 @@ void
 Machine::step()
 {
     ++cycle;
+    if (fault && fault->armed())
+        pollFaults();
+    if (specActive && cfg.watchdog.enabled &&
+        cycle - lastHeadProgress > cfg.watchdog.noProgressCycles) {
+        watchdogFire();
+        return;
+    }
     for (auto &c : cores)
         stepCpu(c);
 }
@@ -267,6 +291,17 @@ Machine::chargeHandler(Core &c, std::uint32_t cycles)
 {
     if (cycles == 0)
         return;
+    if (fault) {
+        const std::uint32_t mult = fault->handlerMultiplier(cycle);
+        if (mult > 1) {
+            JRPM_TRACE(Trace::kHostTrack, TraceEvt::FaultInjected,
+                       cycle,
+                       static_cast<std::int32_t>(
+                           FaultKind::HandlerSpike),
+                       mult);
+            cycles *= mult;
+        }
+    }
     c.stall = StallKind::Handler;
     c.stallCycles = cycles;
 }
@@ -621,11 +656,7 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
                     c.pendingOverflowStall = true;
                 } else {
                     // Load-buffer overflow: stall until head, retry.
-                    c.stall = StallKind::Overflow;
-                    ++execStats.bufferOverflowStalls;
-                    JRPM_TRACE(static_cast<std::uint8_t>(c.id),
-                               TraceEvt::OverflowStall, cycle,
-                               stlLoopId);
+                    noteOverflowStall(c);
                     faulted = false;
                     return kTrapRetry; // sentinel: caller rewinds pc
                 }
@@ -692,10 +723,7 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
                 // drains and writes through.
                 c.pendingOverflowStall = true;
             } else {
-                c.stall = StallKind::Overflow;
-                ++execStats.bufferOverflowStalls;
-                JRPM_TRACE(static_cast<std::uint8_t>(c.id),
-                           TraceEvt::OverflowStall, cycle, stlLoopId);
+                noteOverflowStall(c);
                 stalled = true;
                 return 0;
             }
@@ -720,8 +748,26 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
             victim = &d;
     }
     if (victim) {
-        execStats.noteViolation(addr);
-        violate(*victim, addr, site, c.id);
+        if (fault && fault->dueSuppress(cycle)) {
+            // Detection logic "misses" this violation: the victim
+            // keeps running on stale data.  The differential oracle
+            // must catch the resulting divergence.
+            ++execStats.violationsSuppressed;
+            warnThrottled("fault.suppress",
+                          "fault: suppressed violation at 0x%08x "
+                          "(victim cpu%u, iteration %llu)", addr,
+                          victim->id,
+                          static_cast<unsigned long long>(
+                              victim->iteration));
+            JRPM_TRACE(Trace::kHostTrack, TraceEvt::FaultInjected,
+                       cycle,
+                       static_cast<std::int32_t>(
+                           FaultKind::SuppressViolation),
+                       addr);
+        } else {
+            execStats.noteViolation(addr);
+            violate(*victim, addr, site, c.id);
+        }
     }
     return 0;
 }
@@ -825,8 +871,15 @@ Machine::beginStl(Core &master, std::int32_t loop_id, Pc restart_pc)
     master.tentStart = cycle;
     master.clearSpecState();
     ++execStats.stlEntries;
+    lastHeadProgress = cycle;
     auto &ls = stlRuntime[loop_id];
     ++ls.entries;
+    // A blacklisted loop still runs its STL code, but head-only:
+    // sequential semantics at handler-overhead cost (§ graceful
+    // degradation).
+    soloMode = governorBlacklist.count(loop_id) != 0;
+    if (soloMode)
+        ++ls.soloEntries;
     JRPM_TRACE(static_cast<std::uint8_t>(master.id),
                TraceEvt::StlEntry, cycle, loop_id);
     JRPM_TRACE(static_cast<std::uint8_t>(master.id),
@@ -836,11 +889,29 @@ Machine::beginStl(Core &master, std::int32_t loop_id, Pc restart_pc)
 void
 Machine::wakeSlaves(Core &master, Pc entry)
 {
+    if (soloMode)
+        return; // degraded: the head covers every iteration alone
     for (auto &d : cores) {
         if (d.id == master.id || d.mode == CpuMode::Halted)
             continue;
         if (d.mode != CpuMode::Parked)
             panic("wake_slaves: cpu%u not parked", d.id);
+        if (fault && fault->dueDropWakeup(cycle)) {
+            // Lost wakeup: the iteration number is handed out but no
+            // CPU will ever run it — the commit protocol deadlocks on
+            // the hole and the watchdog must catch it.
+            warnThrottled(
+                "fault.drop",
+                "fault: dropping wakeup of cpu%u (iteration %llu)",
+                d.id,
+                static_cast<unsigned long long>(nextToAssign));
+            JRPM_TRACE(Trace::kHostTrack, TraceEvt::FaultInjected,
+                       cycle,
+                       static_cast<std::int32_t>(FaultKind::DropWakeup),
+                       nextToAssign);
+            ++nextToAssign;
+            continue;
+        }
         d.mode = CpuMode::Speculative;
         d.pc = entry;
         d.regs.fill(0);
@@ -942,6 +1013,7 @@ Machine::execScop(Core &c, const Inst &inst)
         ctx.master = stlMaster;
         ctx.switchCpu = c.id;
         ctx.entryCycle = stlEntryCycle;
+        ctx.solo = soloMode;
         for (const auto &d : cores)
             ctx.savedIterations.push_back(d.iteration);
         parkOthers(c.id);
@@ -957,10 +1029,15 @@ Machine::execScop(Core &c, const Inst &inst)
         nextToAssign = 1;
         stlMaster = c.id;
         stlEntryCycle = cycle;
+        lastHeadProgress = cycle;
         c.iteration = 0;
         c.threadStart = cycle;
         c.clearSpecState();
-        ++stlRuntime[stlLoopId].entries;
+        auto &ls = stlRuntime[stlLoopId];
+        ++ls.entries;
+        soloMode = governorBlacklist.count(stlLoopId) != 0;
+        if (soloMode)
+            ++ls.soloEntries;
         chargeHandler(c, HandlerCosts::hoisted().startup);
         JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::StlEntry,
                    cycle, stlLoopId);
@@ -984,6 +1061,8 @@ Machine::execScop(Core &c, const Inst &inst)
         nextToAssign = ctx.nextToAssign;
         stlMaster = ctx.master;
         stlEntryCycle = ctx.entryCycle;
+        soloMode = ctx.solo;
+        lastHeadProgress = cycle;
         // This CPU adopts the outer iteration of the CPU that
         // performed the switch; everyone else restarts theirs.
         for (auto &d : cores) {
@@ -997,6 +1076,8 @@ Machine::execScop(Core &c, const Inst &inst)
             d.iteration = ctx.savedIterations[src];
             if (d.id == c.id)
                 continue;
+            if (soloMode)
+                continue; // degraded outer STL: peers stay parked
             d.mode = CpuMode::Speculative;
             d.pc = stlRestartPc;
             d.threadStart = cycle;
@@ -1019,6 +1100,7 @@ Machine::execScop(Core &c, const Inst &inst)
 void
 Machine::commitThread(Core &c)
 {
+    lastHeadProgress = cycle;
     auto &ls = stlRuntime[stlLoopId];
     ++ls.commits;
     ls.threadCycles.sample(static_cast<double>(cycle - c.threadStart));
@@ -1034,6 +1116,26 @@ Machine::commitThread(Core &c)
             for (auto &d : cores)
                 if (d.id != c.id)
                     d.l1.invalidate(line);
+
+    if (fault) {
+        std::uint64_t pick = 0;
+        if (fault->dueCorrupt(cycle, pick)) {
+            Addr corrupted = 0;
+            if (c.buffer.corruptOneByte(pick, corrupted)) {
+                warnThrottled(
+                    "fault.corrupt",
+                    "fault: corrupted speculative byte at 0x%08x "
+                    "before commit (cpu%u, iteration %llu)",
+                    corrupted, c.id,
+                    static_cast<unsigned long long>(c.iteration));
+                JRPM_TRACE(Trace::kHostTrack, TraceEvt::FaultInjected,
+                           cycle,
+                           static_cast<std::int32_t>(
+                               FaultKind::CorruptCommit),
+                           corrupted);
+            }
+        }
+    }
 
     c.buffer.drainTo(mem);
     retireTentative(c, true);
@@ -1057,6 +1159,12 @@ Machine::execSmem(Core &c, const Inst &inst)
             panic("commit_buffer_and_head by non-head cpu%u", c.id);
         commitThread(c);
         ++headIteration;
+        // The head-commit boundary is the only point where aborting
+        // speculation leaves no iteration holes: everything up to
+        // headIteration is architectural, everything after is
+        // squashable.
+        if (!soloMode && cfg.governor.enabled && governorShouldTrip())
+            governorDegrade(c);
         chargeHandler(c, costs.eoi);
         break;
       case SmemCmd::KillBuffer:
@@ -1091,8 +1199,23 @@ Machine::violate(Core &victim, Addr addr, std::uint32_t site,
     for (auto &d : cores) {
         if (d.mode != CpuMode::Speculative || d.iteration < from)
             continue;
-        if (isHead(d.id))
+        if (isHead(d.id)) {
+            // The head holds committed state; squashing it is
+            // unrecoverable.  In a clean run this is a simulator
+            // bug — abort loudly.  Under fault injection the
+            // protocol state is deliberately corrupted (e.g. a
+            // suppressed squash), so contain the damage instead:
+            // convert the run into a diagnosed watchdog failure.
+            if (fault && fault->armed()) {
+                warn("violation at 0x%08x would squash the head "
+                     "(iteration %llu) under fault injection; "
+                     "containing via watchdog", addr,
+                     static_cast<unsigned long long>(d.iteration));
+                watchdogFire();
+                return;
+            }
             panic("violation would squash the head thread");
+        }
         d.squashed = true;
     }
 }
@@ -1102,12 +1225,161 @@ Machine::squashToRestart(Core &c)
 {
     retireTentative(c, false);
     c.clearSpecState();
+    // Pending exception/trap state belongs to the squashed attempt:
+    // a stale kind or value must not leak into the retry (the
+    // exceptionPending flag is cleared by clearSpecState, but the
+    // payload would survive to the next raiseException).
+    c.exceptionKind = 0;
+    c.exceptionValue = 0;
+    c.exceptionPc = Pc{};
     c.stall = StallKind::None;
     c.stallCycles = 0;
     c.threadStart = cycle;
     c.pc = stlRestartPc;
     JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::ThreadRestart,
                cycle, stlLoopId, c.iteration);
+}
+
+// ---------------------------------------------------------------------
+// Robustness: fault hooks, watchdog, speculation governor
+// ---------------------------------------------------------------------
+
+void
+Machine::pollFaults()
+{
+    std::uint32_t arg = 0;
+    if (fault->dueShrink(cycle, arg)) {
+        warnThrottled("fault.shrink",
+                      "fault: store buffers clamped to %u lines", arg);
+        JRPM_TRACE(Trace::kHostTrack, TraceEvt::FaultInjected, cycle,
+                   static_cast<std::int32_t>(
+                       FaultKind::ShrinkStoreBuffer),
+                   arg);
+        for (auto &d : cores)
+            d.buffer.limitLines(arg);
+    }
+    if (specActive && fault->dueSpurious(cycle, arg)) {
+        // Victimize a running non-head speculative thread; the
+        // protocol must absorb the squash and converge to the same
+        // result (recovery, not detection).
+        // Strictly more speculative than the head: a core that just
+        // committed sits at its old iteration (below headIteration)
+        // until EOI reassignment, and a squash sweeping up from
+        // there would hit the new head.
+        std::vector<Core *> candidates;
+        for (auto &d : cores)
+            if (d.mode == CpuMode::Speculative &&
+                d.iteration > headIteration && !d.squashed)
+                candidates.push_back(&d);
+        if (!candidates.empty()) {
+            Core &v = *candidates[arg % candidates.size()];
+            warnThrottled("fault.spurious",
+                          "fault: spurious violation on cpu%u "
+                          "(iteration %llu)", v.id,
+                          static_cast<unsigned long long>(v.iteration));
+            JRPM_TRACE(Trace::kHostTrack, TraceEvt::FaultInjected,
+                       cycle,
+                       static_cast<std::int32_t>(
+                           FaultKind::SpuriousViolation),
+                       v.id);
+            execStats.noteViolation(0);
+            violate(v, 0, 0, v.id);
+        }
+    }
+}
+
+void
+Machine::noteOverflowStall(Core &c)
+{
+    c.stall = StallKind::Overflow;
+    ++execStats.bufferOverflowStalls;
+    if (specActive)
+        ++stlRuntime[stlLoopId].overflowStalls;
+    JRPM_TRACE(static_cast<std::uint8_t>(c.id), TraceEvt::OverflowStall,
+               cycle, stlLoopId);
+}
+
+void
+Machine::watchdogFire()
+{
+    ++execStats.watchdogFires;
+    watchdogTripped = true;
+    warn("watchdog: no head commit for %llu cycles in loop %d "
+         "(head iteration %llu, next to assign %llu); dumping state, "
+         "squashing and halting",
+         static_cast<unsigned long long>(cfg.watchdog.noProgressCycles),
+         stlLoopId, static_cast<unsigned long long>(headIteration),
+         static_cast<unsigned long long>(nextToAssign));
+    for (const auto &d : cores)
+        warn("watchdog:   cpu%u mode=%u stall=%u iteration=%llu "
+             "pc=%u:%d", d.id, static_cast<unsigned>(d.mode),
+             static_cast<unsigned>(d.stall),
+             static_cast<unsigned long long>(d.iteration),
+             d.pc.method, d.pc.index);
+    JRPM_TRACE(Trace::kHostTrack, TraceEvt::WatchdogFired, cycle,
+               stlLoopId, headIteration);
+    stlRuntime[stlLoopId].cyclesInside += cycle - stlEntryCycle;
+    specActive = false;
+    contextStack.clear();
+    for (auto &d : cores) {
+        if (d.mode == CpuMode::Halted)
+            continue;
+        if (d.mode == CpuMode::Speculative)
+            retireTentative(d, false);
+        d.mode = CpuMode::Parked;
+        d.stall = StallKind::None;
+        d.stallCycles = 0;
+        d.clearSpecState();
+    }
+    // Terminate with a diagnostic uncatchable exception: the run is
+    // reported as failed, not hung until the cycle limit.
+    uncaughtExc = true;
+    exitVal = static_cast<Word>(ExcKind::Watchdog);
+    cores[seqCpu].mode = CpuMode::Halted;
+}
+
+bool
+Machine::governorShouldTrip() const
+{
+    const auto it = stlRuntime.find(stlLoopId);
+    if (it == stlRuntime.end())
+        return false;
+    const StlRuntimeStats &ls = it->second;
+    if (ls.commits + ls.violations < cfg.governor.minSamples)
+        return false;
+    const double commits =
+        static_cast<double>(ls.commits ? ls.commits : 1);
+    return static_cast<double>(ls.violations) >
+               cfg.governor.maxViolationsPerCommit * commits ||
+           static_cast<double>(ls.overflowStalls) >
+               cfg.governor.maxOverflowPerCommit * commits;
+}
+
+void
+Machine::governorDegrade(Core &head)
+{
+    auto &ls = stlRuntime[stlLoopId];
+    ++execStats.governorAborts;
+    ++ls.governorAborts;
+    ++ls.soloEntries;
+    governorBlacklist.insert(stlLoopId);
+    warnThrottled("governor",
+                  "governor: degrading loop %d to solo mode "
+                  "(%llu violations, %llu overflow stalls, "
+                  "%llu commits)", stlLoopId,
+                  static_cast<unsigned long long>(ls.violations),
+                  static_cast<unsigned long long>(ls.overflowStalls),
+                  static_cast<unsigned long long>(ls.commits));
+    JRPM_TRACE(Trace::kHostTrack, TraceEvt::GovernorDegrade, cycle,
+               stlLoopId, ls.violations,
+               static_cast<std::uint32_t>(ls.commits));
+    // Everything up to headIteration just became architectural; the
+    // peers' in-flight iterations are discarded and reassigned to the
+    // head, which now runs them in order by itself.
+    parkOthers(head.id);
+    nextToAssign = headIteration;
+    soloMode = true;
+    lastHeadProgress = cycle;
 }
 
 // ---------------------------------------------------------------------
@@ -1148,10 +1420,7 @@ Machine::execTrap(Core &c, const Inst &inst)
         // The trap's memory traffic exceeded the speculative buffer
         // capacity: stall until head, then drain and write through.
         c.pendingOverflowStall = false;
-        c.stall = StallKind::Overflow;
-        ++execStats.bufferOverflowStalls;
-        JRPM_TRACE(static_cast<std::uint8_t>(c.id),
-                   TraceEvt::OverflowStall, cycle, stlLoopId);
+        noteOverflowStall(c);
         return;
     }
     if (cost) {
@@ -1164,6 +1433,19 @@ void
 Machine::raiseException(std::uint32_t cpu, ExcKind kind, Word value)
 {
     Core &c = cores[cpu];
+    // The Throw trap takes the kind from $a0, which on a speculative
+    // thread can be arbitrary mis-speculated bits.  Sanitize before
+    // it is stored: a garbage kind defers like any speculative fault,
+    // but must not survive to dispatch as an out-of-range enum.
+    if (static_cast<std::int32_t>(kind) < 0 ||
+        static_cast<std::int32_t>(kind) >
+            static_cast<std::int32_t>(ExcKind::Watchdog)) {
+        if (!(specActive && c.mode == CpuMode::Speculative &&
+              !isHead(cpu)))
+            panic("cpu%u raised unknown exception kind %d",
+                  cpu, static_cast<std::int32_t>(kind));
+        kind = ExcKind::Null;
+    }
     c.exceptionKind = static_cast<std::int32_t>(kind);
     c.exceptionValue = value;
     if (specActive && c.mode == CpuMode::Speculative && !isHead(cpu)) {
@@ -1225,6 +1507,24 @@ Machine::dispatchException(Core &c)
 void
 Machine::unwind(Core &c, ExcKind kind, Word value)
 {
+    switch (kind) {
+      case ExcKind::Null:
+      case ExcKind::Bounds:
+      case ExcKind::Arithmetic:
+      case ExcKind::User:
+        break;
+      case ExcKind::Watchdog:
+        // Diagnostic kinds are never application-catchable: even a
+        // catch-all handler must not swallow a watchdog abort.
+        uncaughtExc = true;
+        exitVal = value;
+        c.mode = CpuMode::Halted;
+        return;
+      default:
+        panic("unwind: invalid exception kind %d on cpu%u (%s)",
+              static_cast<std::int32_t>(kind), c.id,
+              excKindName(kind));
+    }
     Pc at = c.exceptionPc;
     bool first = true;
     while (true) {
@@ -1316,6 +1616,10 @@ Machine::publishMetrics(MetricsRegistry &reg) const
     reg.counter("tls.violations").inc(execStats.violations);
     reg.counter("tls.overflow_stalls")
         .inc(execStats.bufferOverflowStalls);
+    reg.counter("tls.watchdog_fires").inc(execStats.watchdogFires);
+    reg.counter("tls.governor_aborts").inc(execStats.governorAborts);
+    reg.counter("tls.violations_suppressed")
+        .inc(execStats.violationsSuppressed);
     for (const auto &c : cores)
         c.l1.publishMetrics(reg, strfmt("cache.l1.cpu%u", c.id));
     l2.publishMetrics(reg, "cache.l2");
@@ -1324,6 +1628,9 @@ Machine::publishMetrics(MetricsRegistry &reg) const
         reg.counter(p + ".entries").inc(ls.entries);
         reg.counter(p + ".commits").inc(ls.commits);
         reg.counter(p + ".violations").inc(ls.violations);
+        reg.counter(p + ".overflow_stalls").inc(ls.overflowStalls);
+        reg.counter(p + ".solo_entries").inc(ls.soloEntries);
+        reg.counter(p + ".governor_aborts").inc(ls.governorAborts);
         reg.counter(p + ".cycles_inside").inc(ls.cyclesInside);
         reg.histogram(p + ".thread_cycles").merge(ls.threadCycles);
     }

@@ -15,8 +15,11 @@
 #define JRPM_TLS_MACHINE_HH
 
 #include <cstdint>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "common/fault.hh"
 #include "cpu/code_space.hh"
 #include "cpu/config.hh"
 #include "cpu/core.hh"
@@ -35,7 +38,13 @@ enum class ExcKind : std::int32_t
     Bounds = 1,
     Arithmetic = 2,
     User = 3,
+    /** Diagnostic: forward-progress watchdog fired (never catchable
+     *  by application handlers). */
+    Watchdog = 4,
 };
+
+/** Stable name for diagnostics ("null", "bounds", ...). */
+const char *excKindName(ExcKind kind);
 
 /** Return-address sentinel marking the bottom of the call stack. */
 constexpr Word kReturnSentinel = 0xffffffff;
@@ -69,6 +78,14 @@ class Machine
     void setProfiler(ProfileHook *hook) { profiler = hook; }
 
     /**
+     * Install (or remove, with nullptr) a deterministic fault
+     * injector.  The machine consults it at its TLS hook points
+     * (violation detect, slave wakeup, commit, handler charge) and at
+     * each cycle boundary for asynchronous events.
+     */
+    void setFaultInjector(FaultInjector *inj) { fault = inj; }
+
+    /**
      * Begin sequential execution of a method on CPU 0.
      * @param method_id entry method
      * @param args      up to 4 arguments placed in $a0..$a3
@@ -92,6 +109,35 @@ class Machine
     /** Return value left in $v0 of the halting CPU. */
     Word exitValue() const { return exitVal; }
     bool uncaughtException() const { return uncaughtExc; }
+
+    /** True if the forward-progress watchdog killed the run. */
+    bool watchdogFired() const { return watchdogTripped; }
+
+    /** Loops the governor blacklisted (degraded to solo mode). */
+    const std::unordered_set<std::int32_t> &blacklistedLoops() const
+    {
+        return governorBlacklist;
+    }
+
+    /** True while any STL is active (head thread included); compare
+     *  speculating(), which excludes the head. */
+    bool speculationActive() const { return specActive; }
+    /** CPU owning sequential execution (root-set scans). */
+    std::uint32_t sequentialCpu() const { return seqCpu; }
+
+    // ---- differential oracle -----------------------------------------
+    /** Copy of the full memory image (use sparingly: memBytes big). */
+    std::vector<std::uint8_t> memorySnapshot() const
+    {
+        return mem.bytes();
+    }
+    /** FNV-1a checksum of memory, skipping sorted @p skip regions. */
+    std::uint64_t
+    memoryChecksum(const std::vector<std::pair<Addr, std::uint32_t>>
+                       &skip = {}) const
+    {
+        return mem.checksum(skip);
+    }
 
     const ExecStats &stats() const { return execStats; }
     ExecStats &stats() { return execStats; }
@@ -154,6 +200,7 @@ class Machine
     std::vector<Core> cores;
     RuntimeHooks *runtime = nullptr;
     ProfileHook *profiler = nullptr;
+    FaultInjector *fault = nullptr;
     /** CP2 registers shared through the write bus (saved_fp etc.). */
     std::array<Word, 16> globalCp2{};
 
@@ -174,6 +221,7 @@ class Machine
         std::uint32_t master = 0;
         std::uint32_t switchCpu = 0; ///< CPU that performed the switch
         Cycle entryCycle = 0;
+        bool solo = false;           ///< outer STL was head-only
         /** saved per-CPU iterations for multilevel switches */
         std::vector<std::uint64_t> savedIterations;
     };
@@ -187,6 +235,15 @@ class Machine
     Cycle stlEntryCycle = 0;
     bool hoistedHandlers = false;  ///< §4.2.7 cost model active
     std::vector<StlContext> contextStack; ///< multilevel (§4.2.6)
+
+    // ---- graceful degradation ---------------------------------------
+    /** Cycle of the last head commit / STL boundary (watchdog). */
+    Cycle lastHeadProgress = 0;
+    bool watchdogTripped = false;
+    /** Governor degraded the current STL: only the head runs; slave
+     *  wakeups are suppressed and parked peers stay parked. */
+    bool soloMode = false;
+    std::unordered_set<std::int32_t> governorBlacklist;
 
     ExecStats execStats;
     StlStatsMap stlRuntime;
@@ -237,6 +294,20 @@ class Machine
 
     void dispatchException(Core &c);
     void unwind(Core &c, ExcKind kind, Word value);
+
+    // ---- robustness -------------------------------------------------
+    /** Fire asynchronous fault events (spurious violation, buffer
+     *  shrink) due this cycle. */
+    void pollFaults();
+    /** Count an overflow stall against stats and the current loop. */
+    void noteOverflowStall(Core &c);
+    /** No head commit for too long: dump diagnostics, squash, halt. */
+    void watchdogFire();
+    /** True if the current loop's misbehaviour warrants degrading. */
+    bool governorShouldTrip() const;
+    /** Abort speculation on the current loop: blacklist it, park the
+     *  peers and continue head-only (called at a head commit). */
+    void governorDegrade(Core &head);
 
     std::uint32_t cacheLatency(Core &c, Addr addr, bool is_store);
     HandlerCosts activeCosts() const;

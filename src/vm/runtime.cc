@@ -36,6 +36,28 @@ VmRuntime::VmRuntime(Machine &machine, const VmConfig &config)
     }
 }
 
+std::vector<std::pair<Addr, std::uint32_t>>
+VmRuntime::scratchRegions(const VmConfig &cfg,
+                          std::uint32_t num_cpus)
+{
+    std::vector<std::pair<Addr, std::uint32_t>> regions;
+    regions.emplace_back(cfg.lockTableBase, 4 * cfg.maxLocks);
+    // The stack is dead once main has returned, but its residue
+    // (spill slots, STL home locations) legitimately differs between
+    // Plain and Tls codegen; all persistent program state lives in
+    // the statics and the heap. Same 256K window the GC root scan
+    // assumes.
+    const std::uint32_t stack_reserve = 256u << 10;
+    regions.emplace_back(cfg.stackTop - stack_reserve,
+                         stack_reserve);
+    // Per-CPU local top/end pairs below the global top word; the
+    // lowest word is localTopAddr[num_cpus-1] = heapBase-16-8*(n-1).
+    const Addr alloc_base = cfg.heapBase - 8 - 8 * num_cpus;
+    regions.emplace_back(alloc_base, cfg.heapBase - alloc_base);
+    std::sort(regions.begin(), regions.end());
+    return regions;
+}
+
 void
 VmRuntime::prepare()
 {
@@ -211,10 +233,17 @@ VmRuntime::collect(std::uint32_t cpu)
     std::vector<Addr> work;
     std::uint64_t scanned = 0;
 
-    // Roots: statics, every CPU's registers, and the stack region.
+    // Roots: statics, every *active* CPU's registers, and the stack
+    // region. Parked and halted cores hold stale register state from
+    // whatever STL last ran on them; conservatively marking from it
+    // would retain garbage — and retain it differently between a
+    // sequential run and a TLS run, breaking the differential oracle.
     for (std::uint32_t s = 0; s < 1024; ++s)
         markFrom(mem.readWord(cfg.globalsBase + 4 * s), work, marked);
     for (std::uint32_t c = 0; c < m.config().numCpus; ++c) {
+        const CpuMode mode = m.core(c).mode;
+        if (mode == CpuMode::Parked || mode == CpuMode::Halted)
+            continue;
         for (std::uint8_t r = 0; r < NUM_REGS; ++r)
             markFrom(m.reg(c, r), work, marked);
         const Word sp = m.reg(c, R_SP);
@@ -325,8 +354,13 @@ VmRuntime::trap(Machine &machine, std::uint32_t cpu, TrapId id)
         return cfg.printTrapCycles;
       }
       case TrapId::GcSafepoint: {
-        if (machine.speculating(cpu))
-            return 1; // collections only at sequential safepoints
+        // Collections only at truly sequential safepoints: the head
+        // thread of an STL must not collect either (peers' buffered
+        // refs are invisible to the marker, and the collection point
+        // would depend on the nondeterministic commit interleaving —
+        // the differential oracle needs GC decisions to replay).
+        if (machine.speculationActive())
+            return 1;
         if (shouldCollect()) {
             const std::uint64_t before = vmStats.gcCycles;
             collect(cpu);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "bytecode/bytecode.hh"
@@ -116,6 +117,16 @@ class VmRuntime : public RuntimeHooks
 
     /** Register allocation/GC/monitor counters under "vm.". */
     void publishMetrics(MetricsRegistry &reg) const;
+
+    /**
+     * Memory regions that are VM bookkeeping rather than program
+     * state — the allocator control words and the lock table (whose
+     * contents legitimately differ when §5.3 lock elision is on).
+     * Sorted [base, len) pairs for MainMemory::checksum and the
+     * differential oracle's image compare.
+     */
+    static std::vector<std::pair<Addr, std::uint32_t>>
+    scratchRegions(const VmConfig &cfg, std::uint32_t num_cpus);
 
   private:
     Machine &m;

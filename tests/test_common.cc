@@ -171,5 +171,36 @@ TEST(TextTableDeathTest, ArityMismatchPanics)
     EXPECT_DEATH(t.addRow({"only-one"}), "arity");
 }
 
+TEST(LogThrottle, FirstFewVerbatimThenMilestones)
+{
+    logReportSuppressed(); // reset any prior counts
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 150; ++i)
+        warnThrottled("test.throttle", "spam %d", i);
+    const std::string burst =
+        ::testing::internal::GetCapturedStderr();
+    // First 5 verbatim, then only the 10th and 100th milestones.
+    EXPECT_NE(burst.find("spam 0"), std::string::npos);
+    EXPECT_NE(burst.find("spam 4"), std::string::npos);
+    EXPECT_EQ(burst.find("spam 5"), std::string::npos);
+    EXPECT_NE(burst.find("repeated 10 times"), std::string::npos);
+    EXPECT_NE(burst.find("repeated 100 times"), std::string::npos);
+    EXPECT_EQ(burst.find("repeated 50 times"), std::string::npos);
+
+    ::testing::internal::CaptureStderr();
+    logReportSuppressed();
+    const std::string report =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(report.find("[test.throttle] 150 similar"),
+              std::string::npos);
+    EXPECT_NE(report.find("145 suppressed"), std::string::npos);
+
+    // The report resets the counts: the next warning is verbatim.
+    ::testing::internal::CaptureStderr();
+    warnThrottled("test.throttle", "fresh");
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find("fresh"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace jrpm

@@ -275,5 +275,64 @@ TEST_P(RandomTlsAblations, AllOptConfigsMatchSequential)
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTlsAblations,
                          ::testing::Range(0, 8));
 
+/**
+ * Differential memory oracle: beyond the exit-value check above, the
+ * speculative run must leave the *entire* final memory image (heap,
+ * statics) bit-identical to the sequential golden run, for every loop
+ * the compiler accepts, across random program shapes.
+ */
+class OracleFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OracleFuzz, StrictOracleCleanAcrossSeeds)
+{
+    Rng rng(0x0ac1e000u + static_cast<unsigned>(GetParam()));
+    BcProgram prog = randomProgram(rng);
+    ASSERT_EQ(verify(prog), "");
+
+    Workload w;
+    w.name = "oraclefuzz";
+    w.program = std::move(prog);
+    w.mainArgs = {static_cast<Word>(rng.range(17, 120))};
+
+    JrpmConfig cfg;
+    cfg.sys.memBytes = 8u << 20;  // keep the image copies small
+    cfg.vm.heapBytes = 4u << 20;
+    cfg.oracle.mode = OracleMode::Strict;
+    JrpmSystem sys(w, cfg);
+    RunOutcome seq = sys.runSequential(w.mainArgs, false, nullptr);
+    ASSERT_TRUE(seq.halted);
+    ASSERT_FALSE(seq.uncaught);
+    ASSERT_TRUE(seq.memImage);
+
+    const auto skip =
+        VmRuntime::scratchRegions(cfg.vm, cfg.sys.numCpus);
+    auto digest = [](const RunOutcome &o) {
+        RunDigest d;
+        d.halted = o.halted;
+        d.uncaught = o.uncaught;
+        d.exitValue = o.exitValue;
+        d.output = o.vm.output;
+        d.memChecksum = o.memChecksum;
+        d.memImage = o.memImage;
+        return d;
+    };
+
+    for (const auto &li : sys.jit().loopInfos()) {
+        SelectedStl sel;
+        sel.loopId = li.loopId;
+        RunOutcome tls = sys.runTls(w.mainArgs, {sel});
+        ASSERT_TRUE(tls.halted) << "loop " << li.loopId;
+        const OracleReport rep = Oracle::compare(
+            cfg.oracle, digest(seq), digest(tls), skip);
+        EXPECT_TRUE(rep.match())
+            << "loop " << li.loopId << " seed " << GetParam()
+            << ": " << rep.summary();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleFuzz, ::testing::Range(0, 16));
+
 } // namespace
 } // namespace jrpm
