@@ -35,8 +35,11 @@ run(int argc, char **argv)
                  "wait-used", "overhead", "run-viol", "wait-viol",
                  "violations"});
 
-    for (const auto &w : bench::selectWorkloads(opt)) {
-        JrpmReport rep = bench::runReport(w, cfg);
+    const auto workloads = bench::selectWorkloads(opt);
+    const auto reports = bench::runSuite(workloads, cfg);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+        const JrpmReport &rep = reports[i];
         const ExecStats &s = rep.tls.stats;
         const double total = s.total() > 0 ? s.total() : 1.0;
         t.addRow({w.category, w.name,

@@ -30,8 +30,11 @@ run(int argc, char **argv)
                  "actual", "actual speedup"});
 
     SampleStat prof_all;
-    for (const auto &w : bench::selectWorkloads(opt)) {
-        JrpmReport rep = bench::runReport(w, cfg);
+    const auto workloads = bench::selectWorkloads(opt);
+    const auto reports = bench::runSuite(workloads, cfg);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+        const JrpmReport &rep = reports[i];
         const double seq =
             static_cast<double>(rep.seqMain.cycles);
         const double predicted =

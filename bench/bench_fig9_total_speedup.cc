@@ -28,8 +28,11 @@ run(int argc, char **argv)
     t.setHeader({"category", "benchmark", "total speedup", "app",
                  "gc", "compile", "profiling", "recompile"});
 
-    for (const auto &w : bench::selectWorkloads(opt)) {
-        JrpmReport rep = bench::runReport(w, cfg);
+    const auto workloads = bench::selectWorkloads(opt);
+    const auto reports = bench::runSuite(workloads, cfg);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+        const JrpmReport &rep = reports[i];
         const double total =
             static_cast<double>(rep.phases.total());
         auto frac = [&](std::uint64_t v) {

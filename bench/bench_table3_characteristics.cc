@@ -38,8 +38,11 @@ run(int argc, char **argv)
                  "(c)", "(d)", "(e)", "(f)", "(g)", "(h)", "(i)",
                  "(j)", "(k)"});
 
-    for (const auto &w : bench::selectWorkloads(opt)) {
-        JrpmReport rep = bench::runReport(w, cfg);
+    const auto workloads = bench::selectWorkloads(opt);
+    const auto reports = bench::runSuite(workloads, cfg);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+        const JrpmReport &rep = reports[i];
         JrpmSystem sys(w, cfg);
 
         // Static loop structure.

@@ -3,23 +3,71 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "common/logging.hh"
+#include "core/report_json.hh"
 
 namespace jrpm
 {
 namespace bench
 {
 
+namespace
+{
+
+/** Crystal wiring shared by runReport() and runSuite(), configured by
+ *  the last parseArgs() call. */
+std::unique_ptr<CrystalRepo> gRepo;
+WarmMode gWarm = WarmMode::Auto;
+std::uint32_t gJobs = 1;
+
+/** Reports accumulated for --report-out, flushed at exit so every
+ *  harness (including multi-phase ones) exports without extra code. */
+std::string gReportOut;
+std::vector<JrpmReport> gReports;
+
+void
+flushReports()
+{
+    if (!gReportOut.empty() && !gReports.empty())
+        writeReportsJson(gReportOut, gReports);
+}
+
+void
+applyCrystal(JrpmConfig &cfg)
+{
+    if (gRepo && !cfg.crystal.repo) {
+        cfg.crystal.repo = gRepo.get();
+        cfg.crystal.warm = gWarm;
+    }
+}
+
+} // namespace
+
 Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
+    bool list = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--quick")) {
             opt.quick = true;
+        } else if (!std::strcmp(argv[i], "--list")) {
+            list = true;
         } else if (!std::strncmp(argv[i], "--only=", 7)) {
             opt.only = argv[i] + 7;
+        } else if (!std::strncmp(argv[i], "--jobs=", 7)) {
+            opt.jobs = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 7, nullptr, 10));
+            if (opt.jobs == 0)
+                opt.jobs = 1;
+        } else if (!std::strncmp(argv[i], "--repo=", 7)) {
+            opt.repoDir = argv[i] + 7;
+        } else if (!std::strncmp(argv[i], "--warm=", 7)) {
+            opt.warm = parseWarmMode(argv[i] + 7);
+        } else if (!std::strncmp(argv[i], "--report-out=", 13)) {
+            opt.reportOut = argv[i] + 13;
         } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
             opt.traceOut = argv[i] + 12;
         } else if (!std::strncmp(argv[i], "--metrics-out=", 14)) {
@@ -35,6 +83,9 @@ parseArgs(int argc, char **argv)
             opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [--quick] [--only=<benchmark>] "
+                        "[--list] [--jobs=<n>] [--repo=<dir>] "
+                        "[--warm=cold|warm|auto] "
+                        "[--report-out=<path>] "
                         "[--trace-out=<path>] "
                         "[--metrics-out=<path>] "
                         "[--oracle=off|checksum|strict] "
@@ -42,8 +93,25 @@ parseArgs(int argc, char **argv)
                         "[--seed=<n>]\n",
                         argv[0]);
             std::exit(0);
+        } else {
+            fatal("unknown flag '%s' (try --help)", argv[i]);
         }
     }
+    if (list) {
+        for (const auto &w : wl::allWorkloads())
+            std::printf("%-16s %-10s %s\n", w.name.c_str(),
+                        w.category.c_str(), w.description.c_str());
+        std::exit(0);
+    }
+    if (!opt.repoDir.empty())
+        gRepo = std::make_unique<CrystalRepo>(opt.repoDir);
+    else
+        gRepo.reset();
+    gWarm = opt.warm;
+    gJobs = opt.jobs;
+    gReportOut = opt.reportOut;
+    if (!gReportOut.empty())
+        std::atexit(flushReports);
     return opt;
 }
 
@@ -61,7 +129,8 @@ selectWorkloads(const Options &opt)
         out.push_back(std::move(w));
     }
     if (out.empty())
-        fatal("no workload matches '%s'", opt.only.c_str());
+        fatal("no workload matches '%s' (--list prints the names)",
+              opt.only.c_str());
     return out;
 }
 
@@ -92,12 +161,52 @@ JrpmReport
 runReport(const Workload &w, const JrpmConfig &cfg)
 {
     std::fprintf(stderr, "  running %s ...\n", w.name.c_str());
-    JrpmSystem sys(w, cfg);
+    JrpmConfig c = cfg;
+    applyCrystal(c);
+    JrpmSystem sys(w, c);
     JrpmReport rep = sys.run();
     if (!rep.outputsMatch)
         warn("%s: speculative output differs from sequential!",
              w.name.c_str());
+    gReports.push_back(rep);
     return rep;
+}
+
+std::vector<JrpmReport>
+runSuite(const std::vector<Workload> &workloads,
+         const JrpmConfig &cfg)
+{
+    std::vector<DriverJob> jobs;
+    jobs.reserve(workloads.size());
+    for (const Workload &w : workloads) {
+        DriverJob job;
+        job.workload = w;
+        job.cfg = cfg;
+        applyCrystal(job.cfg);
+        jobs.push_back(std::move(job));
+    }
+
+    DriverConfig dc;
+    dc.jobs = gJobs;
+    dc.warm = gWarm;
+    dc.progress = true;
+    BatchDriver driver(dc);
+    std::vector<DriverResult> results = driver.run(std::move(jobs));
+
+    std::vector<JrpmReport> reports;
+    reports.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        DriverResult &res = results[i];
+        if (!res.ok)
+            fatal("%s: pipeline failed: %s",
+                  workloads[i].name.c_str(), res.error.c_str());
+        if (!res.report.outputsMatch)
+            warn("%s: speculative output differs from sequential!",
+                 workloads[i].name.c_str());
+        gReports.push_back(res.report);
+        reports.push_back(std::move(res.report));
+    }
+    return reports;
 }
 
 std::string

@@ -4,6 +4,11 @@
  * paper's tables and figures.  Every binary accepts:
  *   --quick              run on the (smaller) profiling inputs
  *   --only=<name>        restrict to one benchmark
+ *   --list               print the selectable workload names and exit
+ *   --jobs=<n>           run up to n pipelines concurrently
+ *   --repo=<dir>         crystal repository of persisted decompositions
+ *   --warm=cold|warm|auto  warm-start policy against --repo
+ *   --report-out=<path>  machine-readable JSON of every JrpmReport
  *   --trace-out=<path>   write a Chrome/Perfetto trace of the runs
  *   --metrics-out=<path> dump the metrics registry (.json for JSON)
  *   --oracle=<mode>      off | checksum | strict differential oracle
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "driver/driver.hh"
 #include "workloads/workloads.hh"
 
 namespace jrpm
@@ -36,10 +42,16 @@ struct Options
     std::string metricsOut;  ///< --metrics-out=<path>
     std::string oracle;      ///< --oracle=off|checksum|strict
     std::string faultPlan;   ///< --fault-plan=<spec>
+    std::string reportOut;   ///< --report-out=<path>
+    std::string repoDir;     ///< --repo=<dir>
+    WarmMode warm = WarmMode::Auto; ///< --warm=cold|warm|auto
+    std::uint32_t jobs = 1;         ///< --jobs=<n>
     std::uint32_t cases = 100;      ///< --cases=<n>
     std::uint64_t seed = 0x5eed;    ///< --seed=<n>
 };
 
+/** Parses flags; handles --help and --list (both print and exit).
+ *  Registers the --report-out exit hook when requested. */
 Options parseArgs(int argc, char **argv);
 
 /** The workload list honoring --only, with --quick applied. */
@@ -49,8 +61,19 @@ std::vector<Workload> selectWorkloads(const Options &opt);
  *  outputs from the command line wired into cfg.obs. */
 JrpmConfig benchConfig(const Options &opt = {});
 
-/** Run the full pipeline for one workload with progress output. */
+/** Run the full pipeline for one workload with progress output.
+ *  Crystal-aware: honors --repo/--warm from the last parseArgs. */
 JrpmReport runReport(const Workload &w, const JrpmConfig &cfg);
+
+/**
+ * Run the full pipeline for every workload through the batch driver:
+ * up to --jobs pipelines concurrently, sharing the --repo crystal
+ * repository.  Reports come back in workload order, so a bench's
+ * output is identical whatever the worker count.
+ */
+std::vector<JrpmReport>
+runSuite(const std::vector<Workload> &workloads,
+         const JrpmConfig &cfg);
 
 /** printf into a std::string with %.nf convenience. */
 std::string fmt1(double v);

@@ -1,9 +1,11 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace jrpm
@@ -12,19 +14,28 @@ namespace jrpm
 namespace
 {
 
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
+
+/** Guards the throttle map (concurrent pipelines share it). */
+std::mutex throttleMu;
 
 /** Occurrences seen per throttle key (see warnThrottled). */
 std::map<std::string, std::uint64_t> throttleCounts;
 
 constexpr std::uint64_t kThrottleVerbatim = 5;
 
+/** Compose the whole line first and write it with one stdio call, so
+ *  concurrent pipelines never interleave mid-message. */
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    std::fprintf(stderr, "%s: %s\n", tag, buf.data());
 }
 
 } // namespace
@@ -76,8 +87,11 @@ warnThrottled(const std::string &key, const char *fmt, ...)
 {
     if (quietFlag)
         return;
-    std::uint64_t &count = throttleCounts[key];
-    ++count;
+    std::uint64_t count;
+    {
+        std::lock_guard<std::mutex> lock(throttleMu);
+        count = ++throttleCounts[key];
+    }
     if (count <= kThrottleVerbatim) {
         va_list ap;
         va_start(ap, fmt);
@@ -100,6 +114,7 @@ warnThrottled(const std::string &key, const char *fmt, ...)
 void
 logReportSuppressed()
 {
+    std::lock_guard<std::mutex> lock(throttleMu);
     for (const auto &[key, count] : throttleCounts) {
         if (count > kThrottleVerbatim && !quietFlag)
             std::fprintf(stderr,

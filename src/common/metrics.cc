@@ -26,8 +26,11 @@ kindName(int k)
 MetricsRegistry::Entry &
 MetricsRegistry::fetch(const std::string &name, Kind kind)
 {
-    auto [it, inserted] = entries.try_emplace(name, Entry{kind, {}, {}, {}});
-    if (!inserted && it->second.kind != kind)
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = entries.try_emplace(name);
+    if (inserted)
+        it->second.kind = kind;
+    else if (it->second.kind != kind)
         panic("metric '%s' registered as %s and %s", name.c_str(),
               kindName(static_cast<int>(it->second.kind)),
               kindName(static_cast<int>(kind)));
@@ -55,6 +58,7 @@ MetricsRegistry::histogram(const std::string &name)
 void
 MetricsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mu);
     for (auto &[name, e] : entries) {
         e.c.reset();
         e.g.reset();
@@ -65,6 +69,7 @@ MetricsRegistry::reset()
 std::string
 MetricsRegistry::dumpText() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     std::string out;
     for (const auto &[name, e] : entries) {
         switch (e.kind) {
@@ -93,6 +98,7 @@ MetricsRegistry::dumpText() const
 std::string
 MetricsRegistry::dumpJson() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     std::string out = "{";
     bool first = true;
     for (const auto &[name, e] : entries) {

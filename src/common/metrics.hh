@@ -14,8 +14,10 @@
 #ifndef JRPM_COMMON_METRICS_HH
 #define JRPM_COMMON_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/stats.hh"
@@ -23,41 +25,93 @@
 namespace jrpm
 {
 
-/** A monotonically increasing count of events. */
+/**
+ * A monotonically increasing count of events.  Increments are atomic
+ * (relaxed): the batch driver's concurrent pipelines publish into one
+ * shared registry, so same-named counters aggregate across jobs
+ * instead of corrupting each other.
+ */
 class Counter
 {
   public:
-    void inc(std::uint64_t n = 1) { v += n; }
-    std::uint64_t value() const { return v; }
-    void reset() { v = 0; }
+    void
+    inc(std::uint64_t n = 1)
+    {
+        v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t v = 0;
+    std::atomic<std::uint64_t> v{0};
 };
 
-/** A point-in-time value (last write wins). */
+/** A point-in-time value (last write wins, atomically). */
 class Gauge
 {
   public:
-    void set(double value) { v = value; }
-    double value() const { return v; }
-    void reset() { v = 0.0; }
+    void
+    set(double value)
+    {
+        v.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return v.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double v = 0.0;
+    std::atomic<double> v{0.0};
 };
 
-/** A sample distribution: count/mean/stddev/min/max via SampleStat. */
+/** A sample distribution: count/mean/stddev/min/max via SampleStat.
+ *  Mutations and reads serialize on a per-metric mutex (Welford's
+ *  update is read-modify-write and cannot be lock-free). */
 class HistogramMetric
 {
   public:
-    void sample(double value) { s.sample(value); }
+    void
+    sample(double value)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        s.sample(value);
+    }
+
     /** Fold a pre-aggregated accumulator in (Chan's merge). */
-    void merge(const SampleStat &other) { s.merge(other); }
-    const SampleStat &summary() const { return s; }
-    void reset() { s.reset(); }
+    void
+    merge(const SampleStat &other)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        s.merge(other);
+    }
+
+    /** A consistent snapshot of the accumulator. */
+    SampleStat
+    summary() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return s;
+    }
+
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        s.reset();
+    }
 
   private:
+    mutable std::mutex mu;
     SampleStat s;
 };
 
@@ -82,13 +136,23 @@ class MetricsRegistry
     HistogramMetric &histogram(const std::string &name);
 
     /** Number of registered metrics. */
-    std::size_t size() const { return entries.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return entries.size();
+    }
 
     /** Zero every metric (registrations are kept). */
     void reset();
 
     /** Drop every metric (for test isolation). */
-    void clear() { entries.clear(); }
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        entries.clear();
+    }
 
     /** One line per metric, sorted by name. */
     std::string dumpText() const;
@@ -102,15 +166,20 @@ class MetricsRegistry
   private:
     enum class Kind { Counter, Gauge, Histogram };
 
+    /** Non-copyable (atomics + mutex); constructed in place. */
     struct Entry
     {
-        Kind kind;
+        Kind kind = Kind::Counter;
         Counter c;
         Gauge g;
         HistogramMetric h;
     };
 
     Entry &fetch(const std::string &name, Kind kind);
+
+    /** Guards the map structure; metric values have their own
+     *  synchronization so hot-path increments stay lock-free. */
+    mutable std::mutex mu;
 
     /** node-based map: entry addresses survive later insertions. */
     std::map<std::string, Entry> entries;

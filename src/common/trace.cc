@@ -87,6 +87,7 @@ traceStateName(TraceState s)
 void
 Trace::configure(std::uint32_t cpu_tracks, std::size_t capacity)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     if (cpu_tracks == 0 || capacity == 0)
         fatal("Trace::configure: tracks and capacity must be nonzero");
     nCpuTracks = cpu_tracks;
@@ -103,6 +104,7 @@ Trace::configure(std::uint32_t cpu_tracks, std::size_t capacity)
 void
 Trace::setEnabled(bool enable)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     if (enable && rings.empty())
         configure(8, 1u << 15);
     on = enable;
@@ -111,6 +113,7 @@ Trace::setEnabled(bool enable)
 void
 Trace::clear()
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     for (auto &r : rings) {
         r.head = 0;
         r.count = 0;
@@ -125,8 +128,9 @@ Trace::clear()
 void
 Trace::beginPhase(const std::string &name)
 {
-    if (!on)
+    if (!enabled())
         return;
+    std::lock_guard<std::recursive_mutex> lock(mu);
     tsOffset = totalRecorded() ? maxTs + 1 : 0;
     phaseMarks.emplace_back(tsOffset, name);
     record(kHostTrack, TraceEvt::Phase, 0,
@@ -136,8 +140,9 @@ Trace::beginPhase(const std::string &name)
 void
 Trace::recordViolation(const ViolationRecord &rec)
 {
-    if (!on)
+    if (!enabled())
         return;
+    std::lock_guard<std::recursive_mutex> lock(mu);
     if (ledger.size() >= kMaxLedger) {
         ++ledgerDropped;
         return;
@@ -150,6 +155,7 @@ Trace::recordViolation(const ViolationRecord &rec)
 std::vector<TraceEvent>
 Trace::events(std::uint8_t track) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     std::vector<TraceEvent> out;
     const Ring *r = nullptr;
     if (track == kHostTrack)
@@ -174,6 +180,7 @@ Trace::events(std::uint8_t track) const
 std::uint64_t
 Trace::totalRecorded() const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     std::uint64_t n = 0;
     for (const auto &r : rings)
         n += r.count;
@@ -183,6 +190,7 @@ Trace::totalRecorded() const
 std::uint64_t
 Trace::dropped() const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     std::uint64_t n = 0;
     for (const auto &r : rings)
         if (r.count > r.buf.size())
@@ -193,6 +201,7 @@ Trace::dropped() const
 std::vector<TraceSpan>
 Trace::spans() const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     std::vector<TraceSpan> out;
     const Cycle endTs = maxTs + 1;
     for (std::uint32_t t = 0; t < nCpuTracks; ++t) {
@@ -261,6 +270,7 @@ Trace::spans() const
 std::string
 Trace::exportChromeJson() const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     std::string j;
     j.reserve(1u << 20);
     j += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";

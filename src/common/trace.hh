@@ -27,7 +27,9 @@
 #ifndef JRPM_COMMON_TRACE_HH
 #define JRPM_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -155,7 +157,12 @@ class Trace
     /** Runtime switch; configure() defaults are applied on first
      *  enable if configure() was never called. */
     void setEnabled(bool on);
-    bool enabled() const { return on; }
+
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
 
     /** Drop all events, phases and ledger entries; keep geometry. */
     void clear();
@@ -170,8 +177,12 @@ class Trace
            std::int32_t arg0 = 0, std::uint64_t arg1 = 0,
            std::uint32_t arg2 = 0)
     {
-        if (!on)
+        if (!enabled())
             return;
+        // The disabled path above stays lock-free; with tracing on,
+        // concurrent pipelines (batch driver) serialize here so ring
+        // state never corrupts.
+        std::lock_guard<std::recursive_mutex> lock(mu);
         Ring *r = ringFor(track);
         if (!r)
             return;
@@ -215,6 +226,7 @@ class Trace
     std::size_t
     capacity() const
     {
+        std::lock_guard<std::recursive_mutex> lock(mu);
         return rings.empty() ? 0 : rings.front().buf.size();
     }
 
@@ -261,7 +273,11 @@ class Trace
         return &rings[track];
     }
 
-    bool on = false;
+    /** Guards all ring/ledger/phase state.  Recursive because public
+     *  readouts compose (beginPhase→record, spans→events, ...). */
+    mutable std::recursive_mutex mu;
+
+    std::atomic<bool> on{false};
     std::uint32_t nCpuTracks = 0;
     std::vector<Ring> rings;    ///< cpu tracks + host track at the end
     Cycle tsOffset = 0;

@@ -206,6 +206,14 @@ JrpmSystem::selectOnly()
         an.select(theJit.loopInfos(), profiles));
 }
 
+std::uint64_t
+JrpmSystem::fingerprint() const
+{
+    return crystalFingerprint(
+        hashProgram(load.program), hashArgs(load.profileArgs),
+        hashAnalyzerConfig(cfg.analyzer, cfg.tracer));
+}
+
 JrpmReport
 JrpmSystem::run()
 {
@@ -222,35 +230,87 @@ JrpmSystem::run()
     JrpmReport rep;
     rep.name = load.name;
 
+    // Crystal: look for a persisted decomposition of this exact
+    // (program, profile args, analyzer config, schema version).
+    CrystalRepo *repo = cfg.crystal.repo;
+    const std::uint64_t progHash = hashProgram(load.program);
+    const std::uint64_t argsHash = hashArgs(load.profileArgs);
+    const std::uint64_t confHash =
+        hashAnalyzerConfig(cfg.analyzer, cfg.tracer);
+    rep.fingerprint =
+        crystalFingerprint(progHash, argsHash, confHash);
+    CrystalEntry entry;
+    if (repo && cfg.crystal.warm != WarmMode::Cold) {
+        if (repo->lookup(rep.fingerprint, entry)) {
+            if (entry.matches(progHash, argsHash, confHash)) {
+                rep.warmStart = true;
+            } else {
+                // Fingerprint collision or hand-edited file: the
+                // stored component hashes disagree — cold re-profile.
+                warn("%s: crystal entry %016llx has mismatched "
+                     "component hashes; invalidating",
+                     load.name.c_str(),
+                     static_cast<unsigned long long>(
+                         rep.fingerprint));
+                repo->invalidate(rep.fingerprint);
+            }
+        }
+        if (!rep.warmStart && cfg.crystal.warm == WarmMode::Warm)
+            fatal("%s: --warm=warm but no usable crystal entry "
+                  "%016llx in '%s' (run cold first)",
+                  load.name.c_str(),
+                  static_cast<unsigned long long>(rep.fingerprint),
+                  repo->dir().c_str());
+    }
+
     // Baselines (step 0): plain sequential runs.
     rep.seqMain = runSequential(load.mainArgs, false, nullptr);
     const bool same_input = load.profileArgs == load.mainArgs;
-    rep.seqProfileIn =
-        same_input ? rep.seqMain
-                   : runSequential(load.profileArgs, false, nullptr);
 
-    // Steps 1-2: compile annotated, run under TEST.
-    TestProfiler prof(cfg.tracer);
-    rep.profiled = runSequential(load.profileArgs, true, &prof);
-    rep.profiles = prof.profiles();
-    rep.profilingSlowdown =
-        rep.seqProfileIn.cycles
-            ? static_cast<double>(rep.profiled.cycles) /
-                  static_cast<double>(rep.seqProfileIn.cycles)
-            : 1.0;
+    if (rep.warmStart) {
+        // Warm start: steps 2-3 (profile run + analysis) are served
+        // from the repository; the profiling input never runs.
+        inform("%s: warm start from crystal %016llx (%zu STLs)",
+               load.name.c_str(),
+               static_cast<unsigned long long>(rep.fingerprint),
+               entry.selections.size());
+        rep.seqProfileIn = rep.seqMain;
+        rep.profiles = entry.profiles;
+        rep.profilingSlowdown = entry.profilingSlowdown;
+        rep.selections = entry.selections;
+    } else {
+        rep.seqProfileIn =
+            same_input
+                ? rep.seqMain
+                : runSequential(load.profileArgs, false, nullptr);
 
-    // Step 3: choose decompositions.
-    Analyzer an(cfg.analyzer);
-    rep.selections = filterDynamicNesting(
-        an.select(theJit.loopInfos(), rep.profiles));
+        // Steps 1-2: compile annotated, run under TEST.
+        TestProfiler prof(cfg.tracer);
+        rep.profiled = runSequential(load.profileArgs, true, &prof);
+        rep.profiles = prof.profiles();
+        rep.profilingSlowdown =
+            rep.seqProfileIn.cycles
+                ? static_cast<double>(rep.profiled.cycles) /
+                      static_cast<double>(rep.seqProfileIn.cycles)
+                : 1.0;
+
+        // Step 3: choose decompositions.
+        Analyzer an(cfg.analyzer);
+        rep.selections = filterDynamicNesting(
+            an.select(theJit.loopInfos(), rep.profiles));
+        prof.publishMetrics(MetricsRegistry::global());
+    }
 
     // Predicted whole-program TLS time (for Fig. 8): replace each
     // selected loop's share of sequential time with its predicted
-    // speculative time.
+    // speculative time.  Warm runs normalize coverage by the cold
+    // run's stored profiling cycles so the prediction matches the
+    // cold pipeline's bit for bit.
     {
         const double prof_total =
             std::max<double>(1.0, static_cast<double>(
-                rep.profiled.cycles));
+                rep.warmStart ? entry.profilingCycles
+                              : rep.profiled.cycles));
         double frac_covered = 0, frac_tls = 0;
         for (const auto &sel : rep.selections) {
             const double f =
@@ -273,7 +333,9 @@ JrpmSystem::run()
         cfg.cyclesPerBytecodeCompile *
         static_cast<double>(theJit.bytecodeCount()));
     rep.phases.compile = compile_cost;
-    rep.phases.profiling = rep.profiled.cycles;
+    // Fig. 9 warm columns: a warm start charges zero profiling
+    // cycles — the decomposition came off disk.
+    rep.phases.profiling = rep.warmStart ? 0 : rep.profiled.cycles;
     rep.phases.recompile =
         rep.selections.empty()
             ? 0
@@ -327,9 +389,54 @@ JrpmSystem::run()
 
     rep.topViolations = rep.tls.stats.topViolationAddrs(10);
 
+    // Crystal post-run bookkeeping: crystallize cold results, and
+    // demote warm entries that failed to deliver.
+    if (repo) {
+        if (rep.warmStart) {
+            bool demote = false;
+            if (!rep.outputsMatch || rep.tls.watchdogFired) {
+                demote = true;
+                warn("%s: warm run diverged or hung; demoting "
+                     "crystal entry", load.name.c_str());
+            } else if (entry.predictedSpeedup > 1.0 &&
+                       rep.actualSpeedup <
+                           cfg.crystal.demoteRatio *
+                               entry.predictedSpeedup) {
+                demote = true;
+                warn("%s: actual TLS speedup %.2f far below stored "
+                     "prediction %.2f; demoting crystal entry",
+                     load.name.c_str(), rep.actualSpeedup,
+                     entry.predictedSpeedup);
+            }
+            if (demote) {
+                repo->invalidate(rep.fingerprint);
+                rep.demoted = true;
+                MetricsRegistry::global()
+                    .counter("crystal.demotions")
+                    .inc();
+            }
+        } else if (rep.outputsMatch && !rep.tls.watchdogFired &&
+                   rep.tls.faultsInjected == 0) {
+            CrystalEntry fresh;
+            fresh.workload = load.name;
+            fresh.programHash = progHash;
+            fresh.argsHash = argsHash;
+            fresh.configHash = confHash;
+            fresh.predictedSpeedup =
+                rep.predictedTlsCycles > 0
+                    ? static_cast<double>(rep.seqMain.cycles) /
+                          rep.predictedTlsCycles
+                    : 1.0;
+            fresh.profilingSlowdown = rep.profilingSlowdown;
+            fresh.profilingCycles = rep.profiled.cycles;
+            fresh.profiles = rep.profiles;
+            fresh.selections = rep.selections;
+            repo->store(fresh);
+        }
+    }
+
     // Observability exports.
     auto &reg = MetricsRegistry::global();
-    prof.publishMetrics(reg);
     {
         std::string p = "jrpm." + rep.name;
         for (char &c : p)
@@ -347,6 +454,8 @@ JrpmSystem::run()
         if (rep.tls.faultsInjected)
             reg.counter(p + ".faults_injected")
                 .inc(rep.tls.faultsInjected);
+        if (rep.warmStart)
+            reg.counter(p + ".warm_starts").inc();
     }
     if (!cfg.obs.traceOut.empty())
         Trace::global().writeChromeJson(cfg.obs.traceOut);

@@ -29,6 +29,7 @@
 #include "bytecode/bytecode.hh"
 #include "common/fault.hh"
 #include "core/oracle.hh"
+#include "crystal/crystal.hh"
 #include "jit/compiler.hh"
 #include "profile/analyzer.hh"
 #include "tls/machine.hh"
@@ -68,6 +69,18 @@ struct ObsConfig
     std::string metricsOut;
 };
 
+/** Crystal repository wiring: warm-start policy for this instance. */
+struct CrystalRunConfig
+{
+    /** Borrowed, shared, thread-safe; nullptr disables crystal. */
+    CrystalRepo *repo = nullptr;
+    WarmMode warm = WarmMode::Auto;
+    /** Demote a warm entry when the actual TLS speedup falls below
+     *  this fraction of the stored prediction (and the prediction
+     *  promised a real speedup). */
+    double demoteRatio = 0.5;
+};
+
 /** Full configuration of a Jrpm instance. */
 struct JrpmConfig
 {
@@ -77,6 +90,8 @@ struct JrpmConfig
     VmConfig vm;
     TracerConfig tracer;
     ObsConfig obs;
+    /** Persistent decomposition repository (warm-start). */
+    CrystalRunConfig crystal;
     /** Differential oracle against the sequential golden run. */
     OracleConfig oracle;
     /** Faults injected into the TLS run (robustness harness). */
@@ -138,6 +153,14 @@ struct JrpmReport
     std::vector<SelectedStl> selections;
     PhaseBreakdown phases;
 
+    /** Crystal: the repository key of this (workload, config). */
+    std::uint64_t fingerprint = 0;
+    /** True when steps 2-3 were skipped via a repository hit. */
+    bool warmStart = false;
+    /** The warm entry was demoted after this run (mis-prediction,
+     *  divergence or watchdog). */
+    bool demoted = false;
+
     double profilingSlowdown = 1.0;  ///< Fig. 8 left bar
     double predictedTlsCycles = 0;   ///< Fig. 8 middle bar (x seq)
     double actualSpeedup = 1.0;      ///< Fig. 8 right bar (inverse)
@@ -179,6 +202,11 @@ class JrpmSystem
     const Jit &jit() const { return theJit; }
     const JrpmConfig &config() const { return cfg; }
     const Workload &workload() const { return load; }
+
+    /** The crystal repository key of this instance: a deterministic
+     *  fingerprint of (program, profile args, analyzer + tracer
+     *  config, schema version). */
+    std::uint64_t fingerprint() const;
 
   private:
     Workload load;

@@ -1,0 +1,133 @@
+#include "report_json.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+const char *
+b2s(bool v)
+{
+    return v ? "true" : "false";
+}
+
+std::string
+runJson(const RunOutcome &o)
+{
+    return strfmt("{\"halted\":%s,\"uncaught\":%s,\"exitValue\":%u,"
+                  "\"cycles\":%" PRIu64 ",\"insts\":%" PRIu64
+                  ",\"violations\":%" PRIu64 ",\"watchdog\":%s,"
+                  "\"faultsInjected\":%u}",
+                  b2s(o.halted), b2s(o.uncaught), o.exitValue,
+                  o.cycles, o.insts, o.stats.violations,
+                  b2s(o.watchdogFired), o.faultsInjected);
+}
+
+} // namespace
+
+std::string
+reportJson(const JrpmReport &rep)
+{
+    std::string j = "{";
+    j += strfmt("\"name\":\"%s\",", jsonEscape(rep.name).c_str());
+    j += strfmt("\"fingerprint\":\"%016" PRIx64 "\",",
+                rep.fingerprint);
+    j += strfmt("\"warmStart\":%s,\"demoted\":%s,",
+                b2s(rep.warmStart), b2s(rep.demoted));
+
+    j += strfmt("\"seqMain\":%s,", runJson(rep.seqMain).c_str());
+    j += strfmt("\"tls\":%s,", runJson(rep.tls).c_str());
+
+    j += strfmt("\"profilingSlowdown\":%.17g,"
+                "\"predictedTlsCycles\":%.17g,"
+                "\"actualSpeedup\":%.17g,\"totalSpeedup\":%.17g,",
+                rep.profilingSlowdown, rep.predictedTlsCycles,
+                rep.actualSpeedup, rep.totalSpeedup);
+    j += strfmt("\"outputsMatch\":%s,", b2s(rep.outputsMatch));
+    j += strfmt("\"oracle\":{\"compared\":%s,\"match\":%s},",
+                b2s(rep.oracle.compared), b2s(rep.oracle.match()));
+
+    const PhaseBreakdown &ph = rep.phases;
+    j += strfmt("\"phases\":{\"compile\":%" PRIu64
+                ",\"profiling\":%" PRIu64 ",\"recompile\":%" PRIu64
+                ",\"application\":%" PRIu64 ",\"gc\":%" PRIu64
+                ",\"total\":%" PRIu64 "},",
+                ph.compile, ph.profiling, ph.recompile,
+                ph.application, ph.gc, ph.total());
+
+    j += "\"selections\":[";
+    bool first = true;
+    for (const SelectedStl &sel : rep.selections) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt("{\"loopId\":%d,\"predictedSpeedup\":%.17g,"
+                    "\"coverageCycles\":%.17g,"
+                    "\"itersPerEntry\":%.17g,"
+                    "\"plan\":{\"syncLock\":%s,\"multilevel\":%s,"
+                    "\"hoistHandlers\":%s}}",
+                    sel.loopId, sel.prediction.predictedSpeedup,
+                    sel.prediction.coverageCycles,
+                    sel.prediction.itersPerEntry,
+                    b2s(sel.plan.syncLock), b2s(sel.plan.multilevel),
+                    b2s(sel.plan.hoistHandlers));
+    }
+    j += "]}";
+    return j;
+}
+
+std::string
+reportsJson(const std::vector<JrpmReport> &reps)
+{
+    std::string j = "[";
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+        j += i ? ",\n" : "\n";
+        j += reportJson(reps[i]);
+    }
+    j += "\n]\n";
+    return j;
+}
+
+bool
+writeReportsJson(const std::string &path,
+                 const std::vector<JrpmReport> &reps)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open report output '%s'", path.c_str());
+        return false;
+    }
+    const std::string j = reportsJson(reps);
+    const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace jrpm

@@ -1,0 +1,108 @@
+#include "driver.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+namespace jrpm
+{
+
+BatchDriver::BatchDriver(DriverConfig config) : cfg(std::move(config))
+{
+    if (!cfg.repoDir.empty())
+        repoOwned = std::make_unique<CrystalRepo>(cfg.repoDir);
+}
+
+BatchDriver::~BatchDriver() = default;
+
+std::vector<DriverResult>
+BatchDriver::run(std::vector<DriverJob> jobs)
+{
+    const std::size_t n = jobs.size();
+    std::vector<DriverResult> results(n);
+    if (n == 0)
+        return results;
+
+    // Attach the shared repository and warm policy to jobs that did
+    // not bring their own.
+    for (DriverJob &job : jobs) {
+        if (!job.cfg.crystal.repo && repoOwned) {
+            job.cfg.crystal.repo = repoOwned.get();
+            job.cfg.crystal.warm = cfg.warm;
+        }
+    }
+
+    const std::uint32_t workers = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(cfg.jobs,
+                                   static_cast<std::uint32_t>(n)));
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            DriverJob &job = jobs[i];
+            DriverResult &res = results[i];
+            if (cfg.progress)
+                inform("driver: job %zu/%zu: %s", i + 1, n,
+                       job.workload.name.c_str());
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                JrpmSystem sys(job.workload, job.cfg);
+                res.report = sys.run();
+                res.ok = true;
+            } catch (const std::exception &e) {
+                res.error = e.what();
+            } catch (...) {
+                res.error = "unknown exception";
+            }
+            res.wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (!res.ok)
+                warn("driver: job %zu (%s) failed: %s", i + 1,
+                     job.workload.name.c_str(), res.error.c_str());
+        }
+    };
+
+    if (workers == 1) {
+        worker();
+    } else {
+        std::vector<std::jthread> pool;
+        pool.reserve(workers);
+        for (std::uint32_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        // jthread joins on destruction.
+    }
+
+    auto &reg = MetricsRegistry::global();
+    reg.counter("driver.jobs").inc(n);
+    reg.gauge("driver.workers").set(workers);
+    for (const DriverResult &r : results)
+        reg.histogram("driver.job_wall_ms").sample(r.wallMs);
+    if (repoOwned) {
+        // Publish the delta since the last batch so repeated run()
+        // calls don't double-count the cumulative repo stats.
+        const CrystalStats cs = repoOwned->stats();
+        reg.counter("crystal.hits").inc(cs.hits - published.hits);
+        reg.counter("crystal.misses")
+            .inc(cs.misses - published.misses);
+        reg.counter("crystal.stores")
+            .inc(cs.stores - published.stores);
+        reg.counter("crystal.invalidations")
+            .inc(cs.invalidations - published.invalidations);
+        reg.counter("crystal.rejects")
+            .inc(cs.rejects - published.rejects);
+        published = cs;
+    }
+    return results;
+}
+
+} // namespace jrpm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Host-parallel batch driver: runs independent JrpmSystem pipelines
+ * concurrently on the host.
+ *
+ * Each job owns its complete simulated world — one Machine, one VM,
+ * one JIT — so jobs share no mutable state beyond the thread-safe
+ * process-wide observability singletons (Trace, MetricsRegistry, the
+ * log throttle) and, optionally, one crystal repository that
+ * warm-starts repeat workloads.  A fixed-size std::jthread worker
+ * pool drains an index-based job queue; results land in input order,
+ * so a batch's reports are byte-identical whether it ran with one
+ * worker or sixteen.
+ */
+
+#ifndef JRPM_DRIVER_DRIVER_HH
+#define JRPM_DRIVER_DRIVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/jrpm.hh"
+#include "crystal/crystal.hh"
+
+namespace jrpm
+{
+
+/** Pool geometry and crystal policy for a batch. */
+struct DriverConfig
+{
+    /** Concurrent pipelines (0 or 1 = serial). */
+    std::uint32_t jobs = 1;
+    /** Crystal repository directory; empty = no repository (unless a
+     *  job's config already carries one). */
+    std::string repoDir;
+    /** Warm-start policy applied to jobs without an explicit one. */
+    WarmMode warm = WarmMode::Auto;
+    /** Per-job progress lines via inform(). */
+    bool progress = false;
+};
+
+/** One unit of work: a workload plus its full pipeline config. */
+struct DriverJob
+{
+    Workload workload;
+    JrpmConfig cfg;
+};
+
+/** What one job produced. */
+struct DriverResult
+{
+    JrpmReport report;
+    bool ok = false;          ///< pipeline ran to completion
+    std::string error;        ///< exception text when !ok
+    double wallMs = 0.0;      ///< host wall-clock for this job
+};
+
+/** The batch driver (see file header). */
+class BatchDriver
+{
+  public:
+    explicit BatchDriver(DriverConfig cfg);
+    ~BatchDriver();
+
+    /**
+     * Run every job, up to cfg.jobs at a time.  Results are in input
+     * order regardless of completion order.  Jobs whose config lacks
+     * a crystal repo get the driver's (when configured).
+     */
+    std::vector<DriverResult> run(std::vector<DriverJob> jobs);
+
+    /** The driver-owned repository, or nullptr. */
+    CrystalRepo *repo() { return repoOwned.get(); }
+
+    const DriverConfig &config() const { return cfg; }
+
+  private:
+    DriverConfig cfg;
+    std::unique_ptr<CrystalRepo> repoOwned;
+    /** Repo stats already published to the metrics registry. */
+    CrystalStats published;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_DRIVER_DRIVER_HH

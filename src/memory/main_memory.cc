@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace jrpm
@@ -88,15 +89,11 @@ std::uint64_t
 MainMemory::checksum(
     const std::vector<std::pair<Addr, std::uint32_t>> &skip) const
 {
-    constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
-    constexpr std::uint64_t kPrime = 0x100000001b3ull;
-    std::uint64_t h = kOffset;
+    Fnv1a h;
     std::size_t at = 0;
     auto mix = [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            h ^= data[i];
-            h *= kPrime;
-        }
+        if (begin < end)
+            h.bytes(data.data() + begin, end - begin);
     };
     for (const auto &[base, len] : skip) {
         const std::size_t lo = std::min<std::size_t>(base,
@@ -109,7 +106,7 @@ MainMemory::checksum(
         at = hi;
     }
     mix(at, data.size());
-    return h;
+    return h.value();
 }
 
 } // namespace jrpm
