@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Guard the simulator-speed trajectory recorded in BENCH_simspeed.json.
+
+BENCH_simspeed.json holds a list of trajectory entries, oldest first.
+Each entry is a label plus the per-benchmark throughput counters from
+one ``bench_simulator_speed --benchmark_out=`` run.  This script
+compares a fresh run against that trajectory:
+
+ * **Relative check** (catches targeted regressions): the current
+   machine's overall speed is estimated as the median of
+   current/baseline ratios across all benchmarks; any benchmark whose
+   ratio falls more than ``--tolerance`` (default 30%) below that
+   median regressed relative to its peers, regardless of how fast the
+   host is.
+ * **Absolute floor** (catches uniform regressions): every benchmark
+   must beat the throughput of the FIRST trajectory entry — the
+   pre-fast-path simulator.  The fast path bought 6-20x, so only a
+   catastrophic regression (or an implausibly slow host) trips this.
+
+Usage:
+    bench_simulator_speed --benchmark_out=current.json \
+        --benchmark_out_format=json
+    scripts/check_simspeed.py current.json [--tolerance=0.30]
+    scripts/check_simspeed.py current.json --update "label"  # append
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / \
+    "BENCH_simspeed.json"
+
+# Throughput counter each benchmark reports (higher is better).
+RATE_KEYS = ("sim_cycles/s", "bytecodes/s")
+
+
+def rates(gbench_json):
+    """Map benchmark name -> throughput from google-benchmark JSON."""
+    out = {}
+    for b in gbench_json.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        for key in RATE_KEYS:
+            if key in b:
+                out[b["name"]] = float(b[key])
+                break
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="--benchmark_out JSON of a fresh "
+                    "bench_simulator_speed run")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed drop below the median-normalized "
+                    "baseline (default 0.30)")
+    ap.add_argument("--trajectory", type=Path, default=TRAJECTORY)
+    ap.add_argument("--update", metavar="LABEL",
+                    help="append the current run to the trajectory "
+                    "instead of checking")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = rates(json.load(f))
+    if not current:
+        sys.exit("no throughput counters found in "
+                 f"{args.current}; was it produced with "
+                 "--benchmark_out_format=json?")
+
+    traj = json.loads(args.trajectory.read_text()) \
+        if args.trajectory.exists() else []
+
+    if args.update is not None:
+        traj.append({"label": args.update, "rates": current})
+        args.trajectory.write_text(
+            json.dumps(traj, indent=2, sort_keys=True) + "\n")
+        print(f"appended '{args.update}' "
+              f"({len(current)} benchmarks) to {args.trajectory}")
+        return
+
+    if not traj:
+        sys.exit(f"no trajectory at {args.trajectory}; record one "
+                 "with --update first")
+
+    first, last = traj[0]["rates"], traj[-1]["rates"]
+    common = sorted(set(current) & set(last))
+    if not common:
+        sys.exit("current run and trajectory share no benchmarks")
+
+    scale = statistics.median(current[n] / last[n] for n in common)
+    print(f"host speed vs '{traj[-1]['label']}' baseline: "
+          f"{scale:.2f}x (median over {len(common)} benchmarks)")
+
+    failed = False
+    for name in common:
+        ratio = current[name] / (last[name] * scale)
+        line = (f"  {name}: {current[name]:,.0f}/s "
+                f"(normalized {ratio:.2f}x of baseline)")
+        if ratio < 1.0 - args.tolerance:
+            line += "  REGRESSION"
+            failed = True
+        if name in first and current[name] < first[name]:
+            line += "  BELOW PRE-FAST-PATH FLOOR " \
+                    f"({first[name]:,.0f}/s)"
+            failed = True
+        print(line)
+
+    if failed:
+        sys.exit(f"sim-speed regression exceeds "
+                 f"{args.tolerance:.0%} (see above)")
+    print("sim-speed trajectory OK")
+
+
+if __name__ == "__main__":
+    main()

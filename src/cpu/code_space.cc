@@ -15,6 +15,7 @@ CodeSpace::install(NativeCode code)
               code.insts.size());
     code.methodId = static_cast<std::uint32_t>(methods.size());
     methods.push_back(std::move(code));
+    ++gen;
     return methods.back().methodId;
 }
 
@@ -25,6 +26,7 @@ CodeSpace::replace(std::uint32_t method_id, NativeCode code)
         panic("replace of unknown method %u", method_id);
     code.methodId = method_id;
     methods[method_id] = std::move(code);
+    ++gen;
 }
 
 const NativeCode &

@@ -66,8 +66,17 @@ class CodeSpace
     /** Total instruction count across all methods. */
     std::size_t totalInsts() const;
 
+    /**
+     * Monotonic counter bumped whenever installed code changes
+     * (install or replace).  Consumers caching raw pointers into a
+     * method's instruction array revalidate against it: both paths
+     * can reallocate the underlying storage.
+     */
+    std::uint64_t generation() const { return gen; }
+
   private:
     std::vector<NativeCode> methods;
+    std::uint64_t gen = 1;
 };
 
 } // namespace jrpm

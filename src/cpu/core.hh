@@ -89,6 +89,14 @@ struct Core
     TraceState traceState = TraceState::Idle;
     Cycle tentStart = 0;
 
+    // Decoded-frame dispatch cache: raw view of pc.method's
+    // instruction array, revalidated against the code-space
+    // generation (install/replace can reallocate the storage).
+    const Inst *frameBase = nullptr;
+    std::uint32_t frameLen = 0;
+    std::uint32_t frameMethod = ~0u;
+    std::uint64_t frameGen = 0;
+
     // Timing-only L1 data cache model.
     CacheModel l1;
 

@@ -23,6 +23,8 @@ CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
     if (!isPow2(line_bytes) || size_bytes % line_bytes != 0)
         panic("bad cache geometry: %u bytes / %u line",
               size_bytes, line_bytes);
+    lineShift = static_cast<std::uint32_t>(
+        __builtin_ctz(line_bytes));
     std::uint32_t lines = size_bytes / line_bytes;
     if (assoc == 0 || assoc >= lines) {
         numSets = 1;
@@ -42,13 +44,13 @@ CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
 std::uint32_t
 CacheModel::setOf(Addr addr) const
 {
-    return (addr / lineSize) & (numSets - 1);
+    return (addr >> lineShift) & (numSets - 1);
 }
 
 Addr
 CacheModel::tagOf(Addr addr) const
 {
-    return addr / lineSize;
+    return addr >> lineShift;
 }
 
 bool
@@ -59,22 +61,28 @@ CacheModel::access(Addr addr)
     Way *base = &ways[static_cast<std::size_t>(set) * assocWays];
     ++useClock;
 
+    Way *invalid = nullptr;
     Way *lru = base;
     for (std::uint32_t w = 0; w < assocWays; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lastUse = useClock;
-            ++nHits;
-            return true;
-        }
-        if (!base[w].valid) {
-            lru = &base[w];
-        } else if (lru->valid && base[w].lastUse < lru->lastUse) {
-            lru = &base[w];
+        if (base[w].valid) {
+            if (base[w].tag == tag) {
+                base[w].lastUse = useClock;
+                ++nHits;
+                return true;
+            }
+            // A free slot always wins the fill, so stop ranking LRU
+            // victims once one is found; the scan still has to cover
+            // every way for the tag match above.
+            if (!invalid && base[w].lastUse < lru->lastUse)
+                lru = &base[w];
+        } else if (!invalid) {
+            invalid = &base[w];
         }
     }
-    lru->valid = true;
-    lru->tag = tag;
-    lru->lastUse = useClock;
+    Way *fill = invalid ? invalid : lru;
+    fill->valid = true;
+    fill->tag = tag;
+    fill->lastUse = useClock;
     ++nMisses;
     return false;
 }

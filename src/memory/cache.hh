@@ -75,6 +75,7 @@ class CacheModel
     };
 
     std::uint32_t lineSize;
+    std::uint32_t lineShift;    ///< log2(lineSize); lineSize is pow2
     std::uint32_t numSets;
     std::uint32_t assocWays;
     std::vector<Way> ways;      ///< numSets * assocWays

@@ -1,6 +1,8 @@
 #include "main_memory.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
@@ -9,8 +11,20 @@ namespace jrpm
 {
 
 MainMemory::MainMemory(std::uint32_t bytes)
-    : data(bytes, 0)
+    : nBytes(bytes)
 {
+    // calloc, not new[]+memset: above the allocator's mmap threshold
+    // the zeroing is satisfied by fresh anonymous pages, so a 64 MB
+    // image costs nothing until the guest actually touches it.
+    data = static_cast<std::uint8_t *>(std::calloc(bytes ? bytes : 1,
+                                                   1));
+    if (!data)
+        fatal("cannot allocate %u bytes of simulated memory", bytes);
+}
+
+MainMemory::~MainMemory()
+{
+    std::free(data);
 }
 
 Word
@@ -82,7 +96,7 @@ MainMemory::clear(Addr addr, std::uint32_t len)
 {
     if (!valid(addr, len))
         panic("clear out of range at 0x%08x+%u", addr, len);
-    std::fill(data.begin() + addr, data.begin() + addr + len, 0);
+    std::memset(data + addr, 0, len);
 }
 
 std::uint64_t
@@ -93,19 +107,18 @@ MainMemory::checksum(
     std::size_t at = 0;
     auto mix = [&](std::size_t begin, std::size_t end) {
         if (begin < end)
-            h.bytes(data.data() + begin, end - begin);
+            h.bytes(data + begin, end - begin);
     };
     for (const auto &[base, len] : skip) {
-        const std::size_t lo = std::min<std::size_t>(base,
-                                                     data.size());
+        const std::size_t lo = std::min<std::size_t>(base, nBytes);
         const std::size_t hi = std::min<std::size_t>(
-            static_cast<std::size_t>(base) + len, data.size());
+            static_cast<std::size_t>(base) + len, nBytes);
         if (lo < at)
             panic("checksum skip regions unsorted at 0x%08x", base);
         mix(at, lo);
         at = hi;
     }
-    mix(at, data.size());
+    mix(at, nBytes);
     return h.value();
 }
 

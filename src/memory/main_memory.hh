@@ -19,21 +19,33 @@
 namespace jrpm
 {
 
-/** Byte-addressable simulated DRAM. */
+/**
+ * Byte-addressable simulated DRAM.
+ *
+ * The image is calloc-backed rather than a zero-filled std::vector:
+ * for the default 64 MB the allocator serves the request straight
+ * from anonymous zero pages, so construction costs microseconds and
+ * only the pages a workload actually touches are ever faulted in.
+ * Constructing a Machine per run used to spend tens of milliseconds
+ * memset-ing memory the guest never reads.
+ */
 class MainMemory
 {
   public:
     /** @param bytes size of the simulated physical memory */
     explicit MainMemory(std::uint32_t bytes);
+    ~MainMemory();
 
-    std::uint32_t size() const { return static_cast<std::uint32_t>(
-        data.size()); }
+    MainMemory(const MainMemory &) = delete;
+    MainMemory &operator=(const MainMemory &) = delete;
+
+    std::uint32_t size() const { return nBytes; }
 
     /** True if [addr, addr+len) lies inside the simulated memory. */
     bool
     valid(Addr addr, std::uint32_t len = 1) const
     {
-        return addr <= data.size() && len <= data.size() - addr;
+        return addr <= nBytes && len <= nBytes - addr;
     }
 
     /** Read an aligned 32-bit word. */
@@ -50,8 +62,11 @@ class MainMemory
     /** Zero-fill a region (heap initialization). */
     void clear(Addr addr, std::uint32_t len);
 
-    /** Raw byte image (differential oracle snapshots). */
-    const std::vector<std::uint8_t> &bytes() const { return data; }
+    /** Copy of the byte image (differential oracle snapshots). */
+    std::vector<std::uint8_t> image() const
+    {
+        return std::vector<std::uint8_t>(data, data + nBytes);
+    }
 
     /**
      * FNV-1a 64-bit checksum of the whole image, skipping the given
@@ -63,7 +78,8 @@ class MainMemory
                  {}) const;
 
   private:
-    std::vector<std::uint8_t> data;
+    std::uint8_t *data = nullptr; ///< calloc'd, lazily-zero pages
+    std::uint32_t nBytes = 0;
 };
 
 } // namespace jrpm

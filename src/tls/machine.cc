@@ -44,6 +44,13 @@ Machine::Machine(const SystemConfig &config)
     cores.reserve(cfg.numCpus);
     for (std::uint32_t i = 0; i < cfg.numCpus; ++i)
         cores.emplace_back(i, cfg);
+    specShare = 1.0 / cfg.numCpus;
+    // Batch accounting adds share*k at once where step() adds share k
+    // times; that is bit-identical only when share is exactly
+    // representable, i.e. numCpus is a power of two.
+    fastPathOk = cfg.numCpus != 0 &&
+                 (cfg.numCpus & (cfg.numCpus - 1)) == 0;
+    burstRunners.reserve(cfg.numCpus);
 }
 
 void
@@ -90,8 +97,12 @@ Machine::halted() const
 bool
 Machine::run(std::uint64_t max_cycles)
 {
-    while (!halted() && max_cycles--)
-        step();
+    while (!halted() && max_cycles) {
+        const std::uint64_t n = advance(max_cycles);
+        if (n == 0)
+            break;
+        max_cycles -= n;
+    }
     // Re-emit each CPU's current state so the exporter can close the
     // final spans at the last simulated cycle, not the last change.
     if (JRPM_TRACE_ON())
@@ -115,6 +126,310 @@ Machine::step()
     }
     for (auto &c : cores)
         stepCpu(c);
+}
+
+// ---------------------------------------------------------------------
+// Event-horizon fast path
+//
+// run() advances through advance(), which consumes 1..budget cycles
+// with accounting bit-identical to that many step() calls.  Cycles
+// where something order-sensitive happens (speculation control,
+// memory traffic under speculation, squashes, resolvable waits, armed
+// fault injectors) always go through step() itself; everything in
+// between is batched or burst.  See DESIGN.md, "Simulator fast path".
+// ---------------------------------------------------------------------
+
+bool
+Machine::frameReady(Core &c)
+{
+    if (c.frameMethod != c.pc.method ||
+        c.frameGen != code.generation()) {
+        const NativeCode &m = code.method(c.pc.method);
+        c.frameBase = m.insts.data();
+        c.frameLen = static_cast<std::uint32_t>(m.insts.size());
+        c.frameMethod = c.pc.method;
+        c.frameGen = code.generation();
+    }
+    return static_cast<std::uint32_t>(c.pc.index) < c.frameLen;
+}
+
+bool
+Machine::burstStop(const Core &c, const Inst &inst, bool spec) const
+{
+    switch (inst.op) {
+      case Op::SCOP:
+      case Op::SMEM:
+        // Speculation control reorders cross-core state (commits,
+        // wakeups, parks); always resolved through step().
+        return true;
+      case Op::LW: case Op::LB: case Op::LBU: case Op::LH:
+      case Op::LHU: case Op::LWNV: case Op::SW: case Op::SB:
+      case Op::SH:
+      case Op::TRAP:
+      case Op::MTC2:
+      case Op::HALT:
+        // Under speculation these can touch shared state (violation
+        // broadcast, buffers, CP2, runtime); sequentially they are
+        // cycle-exact inside a burst.
+        return spec;
+      case Op::JR:
+        return spec && c.regs[inst.rs] == kReturnSentinel;
+      case Op::DIV: case Op::REM: case Op::DIVU: case Op::REMU:
+        return spec && c.regs[inst.rt] == 0;
+      default:
+        return false;
+    }
+}
+
+void
+Machine::noteSequentialStates(Core &c, TraceState s)
+{
+    for (auto &d : cores)
+        noteState(d, d.id == c.id ? s : TraceState::Idle);
+}
+
+TraceState
+Machine::specWindowState(const Core &c) const
+{
+    if (c.mode == CpuMode::Halted)
+        return TraceState::Idle;
+    if (c.mode == CpuMode::Parked)
+        return TraceState::SpecWait;
+    switch (c.stall) {
+      case StallKind::None:
+      case StallKind::Memory:
+      case StallKind::Trap:
+        return TraceState::SpecRun;
+      case StallKind::Handler:
+        return TraceState::SpecOverhead;
+      default:
+        return TraceState::SpecWait;
+    }
+}
+
+std::uint64_t
+Machine::advance(std::uint64_t budget)
+{
+    if (budget == 0)
+        return 0;
+    // Armed fault injectors poll every cycle; non-power-of-two CPU
+    // counts make batched double accounting inexact.  Both are rare:
+    // take the reference path wholesale.
+    if (!fastPathOk || (fault && fault->armed())) {
+        step();
+        return 1;
+    }
+    return specActive ? advanceSpeculative(budget)
+                      : advanceSequential(budget);
+}
+
+std::uint64_t
+Machine::executeBurst(Core &c, std::uint64_t max_insts)
+{
+    std::uint64_t retired = 0;
+    for (;;) {
+        const Inst &inst = c.frameBase[c.pc.index];
+        ++c.pc.index;
+        ++nInsts;
+        execInst(c, inst);
+        ++retired;
+        if (retired >= max_insts || c.stall != StallKind::None ||
+            c.mode != CpuMode::Sequential || specActive)
+            return retired;
+        if (!frameReady(c) ||
+            burstStop(c, c.frameBase[c.pc.index], false))
+            return retired;
+        ++cycle;
+    }
+}
+
+std::uint64_t
+Machine::advanceSequential(std::uint64_t budget)
+{
+    Core &c = cores[seqCpu];
+    std::uint64_t used = 0;
+    while (used < budget) {
+        if (specActive || c.mode != CpuMode::Sequential)
+            break; // reclassify in advance()
+        switch (c.stall) {
+          case StallKind::Memory:
+          case StallKind::Trap: {
+            const std::uint64_t k =
+                std::min<std::uint64_t>(c.stallCycles, budget - used);
+            ++cycle;
+            noteSequentialStates(c, TraceState::Serial);
+            cycle += k - 1;
+            used += k;
+            execStats.serial += static_cast<double>(k);
+            c.stallCycles -= k;
+            if (c.stallCycles == 0)
+                c.stall = StallKind::None;
+            continue;
+          }
+          case StallKind::Handler: {
+            const std::uint64_t k =
+                std::min<std::uint64_t>(c.stallCycles, budget - used);
+            ++cycle;
+            noteSequentialStates(c, TraceState::SerialOverhead);
+            cycle += k - 1;
+            used += k;
+            execStats.overhead += static_cast<double>(k);
+            c.stallCycles -= k;
+            if (c.stallCycles == 0)
+                c.stall = StallKind::None;
+            continue;
+          }
+          case StallKind::WaitHead:
+          case StallKind::Overflow:
+          case StallKind::Exception:
+            // Resolves immediately outside speculation; one exact
+            // reference cycle keeps the resolution order right.
+            step();
+            ++used;
+            continue;
+          case StallKind::None:
+            break;
+        }
+        if (!frameReady(c) ||
+            burstStop(c, c.frameBase[c.pc.index], false)) {
+            step();
+            ++used;
+            continue;
+        }
+        ++cycle;
+        ++used;
+        noteSequentialStates(c, TraceState::Serial);
+        const std::uint64_t b = executeBurst(c, budget - used + 1);
+        used += b - 1;
+        execStats.serial += static_cast<double>(b);
+    }
+    return used;
+}
+
+std::uint64_t
+Machine::advanceSpeculative(std::uint64_t budget)
+{
+    std::uint64_t used = 0;
+    while (used < budget) {
+        if (!specActive || halted())
+            break; // reclassify in advance()
+        std::uint64_t cap = budget - used;
+        if (cfg.watchdog.enabled) {
+            const Cycle deadline =
+                lastHeadProgress + cfg.watchdog.noProgressCycles;
+            if (cycle >= deadline) {
+                step(); // fires the watchdog at the exact cycle
+                ++used;
+                continue;
+            }
+            cap = std::min<std::uint64_t>(cap, deadline - cycle);
+        }
+
+        // Classify every core: cycles to its next event, and whether
+        // it executes.  Anything order-sensitive this cycle (squash,
+        // resolvable wait, non-local instruction) falls back to one
+        // reference step.
+        std::uint64_t quiet = ~0ull;
+        bool slow = false;
+        burstRunners.clear();
+        for (auto &d : cores) {
+            if (d.mode == CpuMode::Halted || d.mode == CpuMode::Parked)
+                continue;
+            if (d.squashed) {
+                slow = true;
+                break;
+            }
+            switch (d.stall) {
+              case StallKind::None:
+                if (!frameReady(d) ||
+                    burstStop(d, d.frameBase[d.pc.index], true))
+                    slow = true;
+                else
+                    burstRunners.push_back(&d);
+                break;
+              case StallKind::Memory:
+              case StallKind::Trap:
+              case StallKind::Handler:
+                quiet = std::min<std::uint64_t>(quiet, d.stallCycles);
+                break;
+              default: // WaitHead / Overflow / Exception
+                if (isHead(d.id))
+                    slow = true; // resolves this cycle
+                break;
+            }
+            if (slow)
+                break;
+        }
+        if (slow || quiet == 0) {
+            step();
+            ++used;
+            continue;
+        }
+        const std::uint64_t k = std::min<std::uint64_t>(quiet, cap);
+
+        // Open a window of up to k cycles.  Runners retire one
+        // provably core-local instruction per cycle in CPU order;
+        // nobody else's classification can change under them, so the
+        // Fig. 10 accounting and stall countdowns batch at the end.
+        ++cycle;
+        for (auto &d : cores)
+            noteState(d, specWindowState(d));
+        std::uint64_t b = 0;
+        for (;;) {
+            for (Core *r : burstRunners) {
+                const Inst &inst = r->frameBase[r->pc.index];
+                ++r->pc.index;
+                ++nInsts;
+                execInst(*r, inst);
+            }
+            ++b;
+            if (b >= k)
+                break;
+            bool stop = false;
+            for (Core *r : burstRunners) {
+                if (!frameReady(*r) ||
+                    burstStop(*r, r->frameBase[r->pc.index], true)) {
+                    stop = true;
+                    break;
+                }
+            }
+            if (stop)
+                break;
+            ++cycle;
+        }
+        const double amt = specShare * static_cast<double>(b);
+        for (auto &d : cores) {
+            if (d.mode == CpuMode::Halted)
+                continue;
+            if (d.mode == CpuMode::Parked) {
+                execStats.waitUsed += amt;
+                continue;
+            }
+            switch (d.stall) {
+              case StallKind::None:
+                d.tentativeRun += amt;
+                break;
+              case StallKind::Memory:
+              case StallKind::Trap:
+                d.tentativeRun += amt;
+                d.stallCycles -= b;
+                if (d.stallCycles == 0)
+                    d.stall = StallKind::None;
+                break;
+              case StallKind::Handler:
+                execStats.overhead += amt;
+                d.stallCycles -= b;
+                if (d.stallCycles == 0)
+                    d.stall = StallKind::None;
+                break;
+              default:
+                d.tentativeWait += amt;
+                break;
+            }
+        }
+        used += b;
+    }
+    return used;
 }
 
 HandlerCosts
@@ -158,7 +473,7 @@ Machine::setReg(std::uint32_t cpu, std::uint8_t r, Word v)
 void
 Machine::stepCpu(Core &c)
 {
-    const double share = specActive ? 1.0 / cfg.numCpus : 1.0;
+    const double share = specActive ? specShare : 1.0;
 
     if (c.mode == CpuMode::Halted) {
         noteState(c, TraceState::Idle);
@@ -313,9 +628,7 @@ Machine::chargeHandler(Core &c, std::uint32_t cycles)
 void
 Machine::execute(Core &c)
 {
-    const NativeCode &m = code.method(c.pc.method);
-    if (c.pc.index < 0 ||
-        c.pc.index >= static_cast<std::int32_t>(m.insts.size())) {
+    if (!frameReady(c)) {
         // A wild pc can only come from speculative garbage (e.g. a
         // half-merged return address); defer like any speculative
         // fault.  Sequentially it is a compiler/simulator bug.
@@ -326,13 +639,21 @@ Machine::execute(Core &c)
             raiseException(c.id, ExcKind::Null, 0);
             return;
         }
-        panic("cpu%u pc out of range: %s:%d", c.id, m.name.c_str(),
-              c.pc.index);
+        panic("cpu%u pc out of range: %s:%d", c.id,
+              code.method(c.pc.method).name.c_str(), c.pc.index);
     }
-    const Inst inst = m.insts[c.pc.index];
-    const Pc instPc = c.pc;
+    const Inst &inst = c.frameBase[c.pc.index];
     ++c.pc.index;
     ++nInsts;
+    execInst(c, inst);
+}
+
+void
+Machine::execInst(Core &c, const Inst &inst)
+{
+    // pc has already been advanced past this instruction; the
+    // faulting-pc for exceptions is therefore one slot back.
+    const Pc instPc = {c.pc.method, c.pc.index - 1};
 
     auto &r = c.regs;
     auto wr = [&](std::uint8_t rd, Word v) {
@@ -627,21 +948,31 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
             underlying = mem.readByte(addr);
 
         bool forwarded = false;
-        // Collect active earlier threads in iteration order.
-        std::vector<const Core *> earlier;
-        for (const auto &d : cores)
-            if (d.id != c.id && d.mode == CpuMode::Speculative &&
-                d.iteration < c.iteration)
-                earlier.push_back(&d);
-        std::sort(earlier.begin(), earlier.end(),
-                  [](const Core *a, const Core *b) {
-                      return a->iteration < b->iteration;
-                  });
-        for (const Core *d : earlier) {
-            if (d->buffer.coverage(addr, len) != Coverage::None) {
-                underlying = d->buffer.readMerge(addr, len, underlying);
+        // Overlay active earlier threads in iteration order.  With at
+        // most numCpus candidates, selection beats building and
+        // sorting a heap-allocated list on every speculative load.
+        std::uint64_t lastIter = 0;
+        bool haveLast = false;
+        for (;;) {
+            const Core *next = nullptr;
+            for (const auto &d : cores) {
+                if (d.id == c.id || d.mode != CpuMode::Speculative ||
+                    d.iteration >= c.iteration)
+                    continue;
+                if (haveLast && d.iteration <= lastIter)
+                    continue;
+                if (!next || d.iteration < next->iteration)
+                    next = &d;
+            }
+            if (!next)
+                break;
+            if (next->buffer.coverage(addr, len) != Coverage::None) {
+                underlying =
+                    next->buffer.readMerge(addr, len, underlying);
                 forwarded = true;
             }
+            lastIter = next->iteration;
+            haveLast = true;
         }
         raw = c.buffer.readMerge(addr, len, underlying);
 
@@ -1608,21 +1939,75 @@ Machine::l1Misses() const
 void
 Machine::publishMetrics(MetricsRegistry &reg) const
 {
-    reg.counter("tls.cycles").inc(cycle);
-    reg.counter("tls.insts").inc(nInsts);
-    reg.counter("tls.mem_ops").inc(nMemOps);
-    reg.counter("tls.stl_entries").inc(execStats.stlEntries);
-    reg.counter("tls.commits").inc(execStats.commits);
-    reg.counter("tls.violations").inc(execStats.violations);
-    reg.counter("tls.overflow_stalls")
-        .inc(execStats.bufferOverflowStalls);
-    reg.counter("tls.watchdog_fires").inc(execStats.watchdogFires);
-    reg.counter("tls.governor_aborts").inc(execStats.governorAborts);
-    reg.counter("tls.violations_suppressed")
-        .inc(execStats.violationsSuppressed);
-    for (const auto &c : cores)
-        c.l1.publishMetrics(reg, strfmt("cache.l1.cpu%u", c.id));
-    l2.publishMetrics(reg, "cache.l2");
+    // Pre-resolved handles only for the (immortal) global registry:
+    // a private registry can die and a successor can reuse its
+    // address, which would falsely validate cached pointers.
+    if (&reg != &MetricsRegistry::global()) {
+        reg.counter("tls.cycles").inc(cycle);
+        reg.counter("tls.insts").inc(nInsts);
+        reg.counter("tls.mem_ops").inc(nMemOps);
+        reg.counter("tls.stl_entries").inc(execStats.stlEntries);
+        reg.counter("tls.commits").inc(execStats.commits);
+        reg.counter("tls.violations").inc(execStats.violations);
+        reg.counter("tls.overflow_stalls")
+            .inc(execStats.bufferOverflowStalls);
+        reg.counter("tls.watchdog_fires")
+            .inc(execStats.watchdogFires);
+        reg.counter("tls.governor_aborts")
+            .inc(execStats.governorAborts);
+        reg.counter("tls.violations_suppressed")
+            .inc(execStats.violationsSuppressed);
+        for (const auto &c : cores)
+            c.l1.publishMetrics(reg, strfmt("cache.l1.cpu%u", c.id));
+        l2.publishMetrics(reg, "cache.l2");
+        publishLoopMetrics(reg);
+        return;
+    }
+    MetricsHandles &h = metricsHandles;
+    if (h.reg != &reg) {
+        h.reg = &reg;
+        h.cycles = &reg.counter("tls.cycles");
+        h.insts = &reg.counter("tls.insts");
+        h.memOps = &reg.counter("tls.mem_ops");
+        h.stlEntries = &reg.counter("tls.stl_entries");
+        h.commits = &reg.counter("tls.commits");
+        h.violations = &reg.counter("tls.violations");
+        h.overflowStalls = &reg.counter("tls.overflow_stalls");
+        h.watchdogFires = &reg.counter("tls.watchdog_fires");
+        h.governorAborts = &reg.counter("tls.governor_aborts");
+        h.violationsSuppressed =
+            &reg.counter("tls.violations_suppressed");
+        h.l1HitMiss.clear();
+        for (const auto &c : cores) {
+            const std::string p = strfmt("cache.l1.cpu%u", c.id);
+            h.l1HitMiss.emplace_back(&reg.counter(p + ".hits"),
+                                     &reg.counter(p + ".misses"));
+        }
+        h.l2Hits = &reg.counter("cache.l2.hits");
+        h.l2Misses = &reg.counter("cache.l2.misses");
+    }
+    h.cycles->inc(cycle);
+    h.insts->inc(nInsts);
+    h.memOps->inc(nMemOps);
+    h.stlEntries->inc(execStats.stlEntries);
+    h.commits->inc(execStats.commits);
+    h.violations->inc(execStats.violations);
+    h.overflowStalls->inc(execStats.bufferOverflowStalls);
+    h.watchdogFires->inc(execStats.watchdogFires);
+    h.governorAborts->inc(execStats.governorAborts);
+    h.violationsSuppressed->inc(execStats.violationsSuppressed);
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        h.l1HitMiss[i].first->inc(cores[i].l1.hits());
+        h.l1HitMiss[i].second->inc(cores[i].l1.misses());
+    }
+    h.l2Hits->inc(l2.hits());
+    h.l2Misses->inc(l2.misses());
+    publishLoopMetrics(reg);
+}
+
+void
+Machine::publishLoopMetrics(MetricsRegistry &reg) const
+{
     for (const auto &[loop, ls] : stlRuntime) {
         const std::string p = strfmt("tls.loop%d", loop);
         reg.counter(p + ".entries").inc(ls.entries);

@@ -129,7 +129,7 @@ class Machine
     /** Copy of the full memory image (use sparingly: memBytes big). */
     std::vector<std::uint8_t> memorySnapshot() const
     {
-        return mem.bytes();
+        return mem.image();
     }
     /** FNV-1a checksum of memory, skipping sorted @p skip regions. */
     std::uint64_t
@@ -190,6 +190,8 @@ class Machine
 
     /** Register machine-level counters under "tls." / "cache.". */
     void publishMetrics(MetricsRegistry &reg) const;
+    /** Per-STL-loop counters (dynamic names; always slow path). */
+    void publishLoopMetrics(MetricsRegistry &reg) const;
 
   private:
     // ---- machine state ---------------------------------------------
@@ -248,9 +250,72 @@ class Machine
     ExecStats execStats;
     StlStatsMap stlRuntime;
 
+    /**
+     * Pre-resolved handles for the fixed-name machine counters.
+     * MetricsRegistry hands back lifetime-stable references, so the
+     * per-run publish pays plain atomic adds instead of one dotted-
+     * path map lookup per counter.  Resolved lazily against the
+     * registry actually passed to publishMetrics (tests use private
+     * registries); re-resolved if a different registry shows up.
+     */
+    struct MetricsHandles
+    {
+        MetricsRegistry *reg = nullptr;
+        Counter *cycles = nullptr;
+        Counter *insts = nullptr;
+        Counter *memOps = nullptr;
+        Counter *stlEntries = nullptr;
+        Counter *commits = nullptr;
+        Counter *violations = nullptr;
+        Counter *overflowStalls = nullptr;
+        Counter *watchdogFires = nullptr;
+        Counter *governorAborts = nullptr;
+        Counter *violationsSuppressed = nullptr;
+        std::vector<std::pair<Counter *, Counter *>> l1HitMiss;
+        Counter *l2Hits = nullptr;
+        Counter *l2Misses = nullptr;
+    };
+    mutable MetricsHandles metricsHandles;
+
+    // ---- event-horizon fast path ------------------------------------
+    /** 1/numCpus, hoisted out of the per-cycle accounting. */
+    double specShare = 0.25;
+    /** numCpus is a power of two, so batch-adding share*k is bit-
+     *  identical to k repeated adds; otherwise the fast path is off. */
+    bool fastPathOk = true;
+    /** Scratch list of cores executing in the current burst window
+     *  (reused across windows to avoid per-window allocation). */
+    std::vector<Core *> burstRunners;
+
+    /**
+     * Advance by 1..@p budget cycles with accounting bit-identical to
+     * that many step() calls, batching quiet spans and bursting
+     * event-free instruction runs.  Returns the cycles consumed.
+     */
+    std::uint64_t advance(std::uint64_t budget);
+    std::uint64_t advanceSequential(std::uint64_t budget);
+    std::uint64_t advanceSpeculative(std::uint64_t budget);
+    /** Retire up to @p max_insts sequential instructions, one cycle
+     *  each; the caller verified the first is in range and not a
+     *  burst stopper.  Returns instructions retired (>= 1). */
+    std::uint64_t executeBurst(Core &c, std::uint64_t max_insts);
+    /** Decode-and-execute one instruction (pc already advanced). */
+    void execInst(Core &c, const Inst &inst);
+    /** Revalidate @p c's decoded-frame cache; false if pc is outside
+     *  the method (wild pc). */
+    bool frameReady(Core &c);
+    /** True if @p inst must take the per-cycle path: speculation
+     *  control always; under @p spec anything not provably
+     *  core-local (memory, traps, halts, faulting divides). */
+    bool burstStop(const Core &c, const Inst &inst, bool spec) const;
+    /** Emit this cycle's states for a sequential span: @p s for the
+     *  sequential CPU, Idle for everyone else, in CPU order. */
+    void noteSequentialStates(Core &c, TraceState s);
+    /** The state a core occupies for a whole speculative window. */
+    TraceState specWindowState(const Core &c) const;
+
     // ---- stepping ---------------------------------------------------
     void stepCpu(Core &c);
-    void accountCycle(const Core &c);
     void execute(Core &c);
     void execMemOp(Core &c, const Inst &inst);
     void execScop(Core &c, const Inst &inst);

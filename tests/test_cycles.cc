@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Golden cycle-count regression tests: exact `RunOutcome::cycles`,
+ * `ExecStats` buckets and instruction counts for three small workloads
+ * in sequential, profiled and TLS modes, pinned to the values the
+ * cycle-accurate reference loop produced before the event-horizon
+ * fast path landed.
+ *
+ * These numbers ARE the paper's figures: Fig. 9/10 and Tables 3-4 are
+ * derived from exactly these counters, so any simulator change that
+ * shifts them — however plausibly — silently changes every reported
+ * result.  A legitimate cost-model change must update the goldens
+ * deliberately: run any one test with JRPM_GOLDEN_REGEN=1 in the
+ * environment and paste the emitted table over `kGolden` below.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+/** Exact expected counters of one (workload, mode) run. */
+struct Golden
+{
+    const char *workload;
+    const char *mode;         ///< "seq" | "prof" | "tls"
+    std::uint64_t cycles;
+    std::uint64_t insts;
+    double serial;
+    double runUsed;
+    double waitUsed;
+    double overhead;
+    double runViolated;
+    double waitViolated;
+    std::uint64_t commits;
+    std::uint64_t violations;
+};
+
+/**
+ * Captured from the per-cycle reference implementation (seed of this
+ * PR) with default JrpmConfig; regenerate with JRPM_GOLDEN_REGEN=1.
+ */
+const Golden kGolden[] = {
+    // clang-format off
+    {"Assignment", "seq", 67396ull, 67219ull, 67396, 0, 0, 0, 0, 0, 0ull, 0ull},
+    {"Assignment", "prof", 74941ull, 74764ull, 74941, 0, 0, 0, 0, 0, 0ull, 0ull},
+    {"Assignment", "tls", 25584ull, 72984ull, 234.75, 21681.5, 1462.75, 449, 826, 930, 296ull, 5ull},
+    {"Huffman", "seq", 176221ull, 171181ull, 176221, 0, 0, 0, 0, 0, 0ull, 0ull},
+    {"Huffman", "prof", 183435ull, 178395ull, 183435, 0, 0, 0, 0, 0, 0ull, 0ull},
+    {"Huffman", "tls", 149739ull, 196582ull, 123569.5, 20111, 2999.25, 3043.5, 15.75, 0, 2400ull, 0ull},
+    {"IDEA", "seq", 217934ull, 217063ull, 217934, 0, 0, 0, 0, 0, 0ull, 0ull},
+    {"IDEA", "prof", 271075ull, 270204ull, 271075, 0, 0, 0, 0, 0, 0ull, 0ull},
+    {"IDEA", "tls", 60798ull, 230906ull, 275.75, 58314.25, 244.75, 1958, 5.25, 0, 1516ull, 0ull},
+    // clang-format on
+};
+
+/** Small inputs keep the three runs per workload under a second. */
+std::vector<Word>
+smallArgs(const std::string &name)
+{
+    if (name == "Assignment")
+        return {12};
+    if (name == "Huffman")
+        return {1200};
+    return {300}; // IDEA
+}
+
+RunOutcome
+runMode(const std::string &workload, const std::string &mode)
+{
+    Workload w = wl::workloadByName(workload);
+    const std::vector<Word> args = smallArgs(workload);
+    w.mainArgs = args;
+    JrpmSystem sys(w);
+    if (mode == "seq")
+        return sys.runSequential(args, false, nullptr);
+    if (mode == "prof") {
+        TestProfiler prof;
+        return sys.runSequential(args, true, &prof);
+    }
+    return sys.runTls(args, sys.selectOnly());
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("JRPM_GOLDEN_REGEN");
+    return env && *env && *env != '0';
+}
+
+/** Print one row in source form, ready to paste into kGolden. */
+void
+printRow(const char *workload, const char *mode, const RunOutcome &out)
+{
+    const ExecStats &st = out.stats;
+    std::printf("    {\"%s\", \"%s\", %lluull, %lluull, %.17g, %.17g, "
+                "%.17g, %.17g, %.17g, %.17g, %lluull, %lluull},\n",
+                workload, mode,
+                static_cast<unsigned long long>(out.cycles),
+                static_cast<unsigned long long>(out.insts), st.serial,
+                st.runUsed, st.waitUsed, st.overhead, st.runViolated,
+                st.waitViolated,
+                static_cast<unsigned long long>(st.commits),
+                static_cast<unsigned long long>(st.violations));
+}
+
+class GoldenCycles : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(GoldenCycles, ExactMatch)
+{
+    const Golden &g = GetParam();
+    const RunOutcome out = runMode(g.workload, g.mode);
+    ASSERT_TRUE(out.halted) << g.workload << "/" << g.mode;
+    ASSERT_FALSE(out.uncaught) << g.workload << "/" << g.mode;
+
+    if (regenRequested()) {
+        printRow(g.workload, g.mode, out);
+        GTEST_SKIP() << "golden regeneration mode";
+    }
+
+    const ExecStats &st = out.stats;
+    EXPECT_EQ(out.cycles, g.cycles);
+    EXPECT_EQ(out.insts, g.insts);
+    // Bit-exact double comparisons on purpose: the Fig. 10 accounting
+    // must be deterministic, not merely close.
+    EXPECT_EQ(st.serial, g.serial);
+    EXPECT_EQ(st.runUsed, g.runUsed);
+    EXPECT_EQ(st.waitUsed, g.waitUsed);
+    EXPECT_EQ(st.overhead, g.overhead);
+    EXPECT_EQ(st.runViolated, g.runViolated);
+    EXPECT_EQ(st.waitViolated, g.waitViolated);
+    EXPECT_EQ(st.commits, g.commits);
+    EXPECT_EQ(st.violations, g.violations);
+}
+
+TEST_P(GoldenCycles, RepeatableAcrossRuns)
+{
+    const Golden &g = GetParam();
+    if (regenRequested())
+        GTEST_SKIP() << "golden regeneration mode";
+    const RunOutcome a = runMode(g.workload, g.mode);
+    const RunOutcome b = runMode(g.workload, g.mode);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.stats.serial, b.stats.serial);
+    EXPECT_EQ(a.stats.runUsed, b.stats.runUsed);
+    EXPECT_EQ(a.stats.waitUsed, b.stats.waitUsed);
+    EXPECT_EQ(a.stats.overhead, b.stats.overhead);
+    EXPECT_EQ(a.exitValue, b.exitValue);
+}
+
+std::string
+goldenName(const ::testing::TestParamInfo<Golden> &info)
+{
+    return std::string(info.param.workload) + "_" + info.param.mode;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GoldenCycles,
+                         ::testing::ValuesIn(kGolden), goldenName);
+
+} // namespace
+} // namespace jrpm
