@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Forge campaign harness (ISSUE 5 acceptance experiment) — four
+ * modes, all deterministic:
+ *
+ *  default       run a --cases campaign of generated scenarios
+ *                through sequential/profiled/TLS plus a forced
+ *                per-loop speculation sweep under --oracle (strict
+ *                by default), optionally composed with --fault-plan;
+ *                failing cases are shrunk and written to
+ *                --corpus-out.  Exit 1 on any failing case.
+ *
+ *  --replay=<dir>      replay every corpus entry: reject version /
+ *                      checksum mismatches, verify the rendered
+ *                      program hash and the stored sequential exit
+ *                      checksum, then force-speculate every loop
+ *                      under the strict oracle.
+ *
+ *  --shrink-demo       end-to-end shrinker validation: inject a
+ *                      CorruptCommit fault into the TLS run of a
+ *                      generated scenario (a deliberate divergence
+ *                      the strict oracle must flag), shrink the
+ *                      scenario to <= 8 loop-body statements, write
+ *                      the repro corpus file, and re-verify the
+ *                      divergence by replaying from that file.
+ *
+ *  --emit-starter=<dir>  write the hand-minimized starter corpus
+ *                        (one scenario per stress axis + one mixed).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "forge/campaign.hh"
+#include "forge/corpus.hh"
+#include "forge/forge.hh"
+#include "forge/shrink.hh"
+
+namespace jrpm
+{
+namespace bench
+{
+namespace
+{
+
+using forge::CorpusEntry;
+using forge::ScenarioSpec;
+
+/** Campaign-sized pipeline config: strict oracle unless overridden,
+ *  small memory image so strict compares stay cheap. */
+JrpmConfig
+forgeConfig(const Options &opt)
+{
+    JrpmConfig cfg = benchConfig(opt);
+    if (opt.oracle.empty())
+        cfg.oracle.mode = OracleMode::Strict;
+    cfg.sys.memBytes = 8u << 20;
+    cfg.vm.heapBytes = 4u << 20;
+    // Bound deadlock diagnosis per case (PR 2 watchdog).
+    cfg.sys.watchdog.noProgressCycles = 500'000;
+    return cfg;
+}
+
+int
+emitStarter(const Options &opt)
+{
+    int rc = 0;
+    for (const ScenarioSpec &spec : forge::starterScenarios()) {
+        const CorpusEntry e = forge::makeCorpusEntry(spec);
+        const std::string path =
+            forge::writeCorpusEntry(opt.emitStarter, e);
+        if (path.empty()) {
+            rc = 1;
+            continue;
+        }
+        std::printf("wrote %-58s %zu stmts  axes %s\n", path.c_str(),
+                    spec.body.size(),
+                    forge::axesDescribe(spec.axes()).c_str());
+    }
+    return rc;
+}
+
+/** Replay one corpus entry; returns an empty string when clean. */
+std::string
+replayEntry(const std::string &path, const JrpmConfig &cfg)
+{
+    CorpusEntry e;
+    std::string err;
+    if (!forge::readCorpusEntry(path, e, &err))
+        return "load: " + err;
+    const std::uint64_t have = hashProgram(forge::render(e.spec));
+    if (have != e.programHash)
+        return strfmt("program hash drift (file 0x%016" PRIx64
+                      ", rendered 0x%016" PRIx64 ")",
+                      e.programHash, have);
+
+    const Workload w = forge::scenarioWorkload(e.spec);
+    JrpmSystem sys(w, cfg);
+    const RunOutcome seq = sys.runSequential(w.mainArgs, false,
+                                             nullptr);
+    if (!seq.halted)
+        return "sequential run did not halt";
+    if (e.haveExit && seq.exitValue != e.expectedExit)
+        return strfmt("exit checksum drift (file 0x%08x, run 0x%08x)",
+                      e.expectedExit, seq.exitValue);
+
+    const forge::CaseResult cr =
+        forge::runCase(e.spec, cfg, /*forced_sweep=*/true);
+    if (cr.failing(/*faults_active=*/false))
+        return "diverged: " + cr.detail;
+    return "";
+}
+
+int
+replayCorpus(const Options &opt)
+{
+    const JrpmConfig cfg = forgeConfig(opt);
+    const std::vector<std::string> files =
+        forge::listCorpus(opt.replayDir);
+    if (files.empty())
+        fatal("no *.scenario files under '%s'",
+              opt.replayDir.c_str());
+    std::uint32_t bad = 0;
+    for (const std::string &f : files) {
+        const std::string verdict = replayEntry(f, cfg);
+        std::printf("%-62s %s\n", f.c_str(),
+                    verdict.empty() ? "clean" : verdict.c_str());
+        if (!verdict.empty())
+            ++bad;
+    }
+    std::printf("replay: %zu entries, %u failing\n", files.size(),
+                bad);
+    return bad ? 1 : 0;
+}
+
+int
+shrinkDemo(const Options &opt)
+{
+    JrpmConfig cfg = forgeConfig(opt);
+    // The deliberate divergence: flip one buffered bit right before
+    // a speculative commit.  The sequential golden run is untouched
+    // (faults arm only in runTls), so the strict oracle must flag
+    // the TLS image.
+    cfg.faultPlan = FaultPlan::parse("corrupt@0");
+
+    // Any divergence counts — for the demo the oracle *detecting*
+    // the corruption is the failure signal we minimize against.
+    auto diverges = [&](const ScenarioSpec &s) {
+        const forge::CaseResult cr =
+            forge::runCase(s, cfg, /*forced_sweep=*/true);
+        return cr.ok && (cr.pipelineDiverged || cr.forcedDiverged);
+    };
+
+    // Deterministically find a diverging scenario with a body big
+    // enough to make shrinking meaningful.
+    ScenarioSpec victim;
+    bool found = false;
+    for (std::uint64_t s = opt.seed; s < opt.seed + 64; ++s) {
+        ScenarioSpec cand = forge::generate(s);
+        if (cand.body.size() >= 5 && diverges(cand)) {
+            victim = cand;
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        fatal("shrink-demo: no diverging scenario within 64 seeds "
+              "of 0x%" PRIx64, opt.seed);
+    std::printf("victim: seed 0x%016" PRIx64 ", %zu stmts, n=%d\n",
+                victim.seed, victim.body.size(), victim.n);
+
+    forge::ShrinkOptions so;
+    so.maxProbes = 300;
+    const forge::ShrinkResult sr =
+        forge::shrinkScenario(victim, diverges, so);
+    std::printf("shrunk: %zu stmts, n=%d (%u probes, %u accepted)\n",
+                sr.spec.body.size(), sr.spec.n, sr.probes,
+                sr.accepted);
+    if (!sr.failing || sr.spec.body.size() > 8) {
+        std::printf("FAIL: shrinker did not reach <= 8 statements\n");
+        return 1;
+    }
+
+    // The repro must replay from its corpus file: write, read back,
+    // and re-verify the divergence twice from the deserialized spec.
+    const std::string dir =
+        opt.corpusOut.empty() ? "forge-repros" : opt.corpusOut;
+    const CorpusEntry e = forge::makeCorpusEntry(sr.spec);
+    const std::string path = forge::writeCorpusEntry(dir, e);
+    if (path.empty())
+        return 1;
+    CorpusEntry back;
+    std::string err;
+    if (!forge::readCorpusEntry(path, back, &err))
+        fatal("repro does not load back: %s", err.c_str());
+    if (!(back.spec == sr.spec))
+        fatal("repro spec did not round-trip");
+    for (int i = 0; i < 2; ++i)
+        if (!diverges(back.spec)) {
+            std::printf("FAIL: repro replay %d did not diverge\n",
+                        i);
+            return 1;
+        }
+    std::printf("repro %s replays deterministically (diverges under "
+                "corrupt@0, strict oracle)\n", path.c_str());
+    return 0;
+}
+
+int
+campaignMain(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    if (!opt.emitStarter.empty())
+        return emitStarter(opt);
+    if (!opt.replayDir.empty())
+        return replayCorpus(opt);
+    if (opt.shrinkDemo)
+        return shrinkDemo(opt);
+
+    forge::CampaignConfig cc;
+    cc.cases = opt.cases;
+    cc.seed = opt.seed;
+    cc.jobs = opt.jobs;
+    cc.axes = forge::parseAxes(opt.axes);
+    cc.corpusOut = opt.corpusOut;
+    cc.base = forgeConfig(opt);
+
+    std::printf("forge campaign: %u cases, seed 0x%" PRIx64
+                ", axes %s, oracle %s%s%s, %u jobs\n",
+                cc.cases, cc.seed,
+                forge::axesDescribe(cc.axes).c_str(),
+                oracleModeName(cc.base.oracle.mode),
+                cc.base.faultPlan.empty() ? "" : ", faults ",
+                cc.base.faultPlan.empty()
+                    ? ""
+                    : cc.base.faultPlan.describe().c_str(),
+                cc.jobs);
+    const forge::CampaignResult res = forge::runCampaign(cc);
+    std::printf("%s", res.summary().c_str());
+    logReportSuppressed();
+    return res.clean() ? 0 : 1;
+}
+
+} // namespace
+} // namespace bench
+} // namespace jrpm
+
+int
+main(int argc, char **argv)
+{
+    return jrpm::bench::campaignMain(argc, argv);
+}

@@ -80,7 +80,17 @@ parseArgs(int argc, char **argv)
             opt.cases = static_cast<std::uint32_t>(
                 std::strtoul(argv[i] + 8, nullptr, 10));
         } else if (!std::strncmp(argv[i], "--seed=", 7)) {
-            opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+            opt.seed = std::strtoull(argv[i] + 7, nullptr, 0);
+        } else if (!std::strncmp(argv[i], "--axes=", 7)) {
+            opt.axes = argv[i] + 7;
+        } else if (!std::strncmp(argv[i], "--corpus-out=", 13)) {
+            opt.corpusOut = argv[i] + 13;
+        } else if (!std::strncmp(argv[i], "--replay=", 9)) {
+            opt.replayDir = argv[i] + 9;
+        } else if (!std::strncmp(argv[i], "--emit-starter=", 15)) {
+            opt.emitStarter = argv[i] + 15;
+        } else if (!std::strcmp(argv[i], "--shrink-demo")) {
+            opt.shrinkDemo = true;
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [--quick] [--only=<benchmark>] "
                         "[--list] [--jobs=<n>] [--repo=<dir>] "
@@ -90,7 +100,9 @@ parseArgs(int argc, char **argv)
                         "[--metrics-out=<path>] "
                         "[--oracle=off|checksum|strict] "
                         "[--fault-plan=<spec>] [--cases=<n>] "
-                        "[--seed=<n>]\n",
+                        "[--seed=<n>] [--axes=<list|all>] "
+                        "[--corpus-out=<dir>] [--replay=<dir>] "
+                        "[--emit-starter=<dir>] [--shrink-demo]\n",
                         argv[0]);
             std::exit(0);
         } else {

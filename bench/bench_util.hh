@@ -48,6 +48,12 @@ struct Options
     std::uint32_t jobs = 1;         ///< --jobs=<n>
     std::uint32_t cases = 100;      ///< --cases=<n>
     std::uint64_t seed = 0x5eed;    ///< --seed=<n>
+    // Forge campaign flags (bench_forge_campaign).
+    std::string axes;        ///< --axes=<list|all>
+    std::string corpusOut;   ///< --corpus-out=<dir>
+    std::string replayDir;   ///< --replay=<dir>
+    std::string emitStarter; ///< --emit-starter=<dir>
+    bool shrinkDemo = false; ///< --shrink-demo
 };
 
 /** Parses flags; handles --help and --list (both print and exit).

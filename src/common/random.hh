@@ -6,6 +6,21 @@
  * sequential and speculative executions can be compared word-for-word;
  * we therefore avoid std::mt19937's unspecified distribution mappings
  * and ship a small xorshift generator with explicit mappings.
+ *
+ * STREAM CONTRACT (frozen): a given seed produces one specific value
+ * stream, on every platform, forever.  Persisted artifacts depend on
+ * it — forge corpus files record only (seed, generator version) and
+ * re-derive the program, and crystal fingerprints hash programs built
+ * from seeded generators.  Concretely:
+ *   - the raw stream is xorshift64* (shift triple 12/25/27, odd
+ *     multiplier 0x2545f4914f6cdd1d), seeded with `seed ? seed : 1`;
+ *   - every mapping (below/range/unit/chance) consumes exactly ONE
+ *     next() draw, in call order, with the explicit arithmetic below
+ *     (modulo for integers, high-bits division for floats);
+ *   - changing any of this is a format break: bump kForgeVersion and
+ *     regenerate checked-in corpora.  tests/test_common.cc pins the
+ *     first raw draws and mapped values; tests/test_forge.cc pins a
+ *     golden generated-program fingerprint on top of them.
  */
 
 #ifndef JRPM_COMMON_RANDOM_HH

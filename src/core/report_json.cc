@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -50,7 +52,214 @@ runJson(const RunOutcome &o)
                   b2s(o.watchdogFired), o.faultsInjected);
 }
 
+/** Recursive-descent parser over the grammar reportJson() emits. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text) : s(text) {}
+
+    bool
+    parse(JsonValue &out, std::string *err)
+    {
+        const bool ok = value(out) && (skipWs(), pos == s.size());
+        if (!ok && err)
+            *err = fail.empty()
+                       ? strfmt("trailing garbage at byte %zu", pos)
+                       : fail;
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    error(const char *what)
+    {
+        if (fail.empty())
+            fail = strfmt("%s at byte %zu", what, pos);
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return error("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return error("expected string");
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                return error("dangling escape");
+            const char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    return error("short \\u escape");
+                const unsigned cp = static_cast<unsigned>(
+                    std::strtoul(s.substr(pos, 4).c_str(), nullptr,
+                                 16));
+                pos += 4;
+                // reportJson() only emits \u00xx control bytes.
+                out += static_cast<char>(cp & 0xff);
+                break;
+              }
+              default:
+                return error("unknown escape");
+            }
+        }
+        if (pos >= s.size())
+            return error("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= s.size())
+            return error("unexpected end of input");
+        const char c = s[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos >= s.size() || s[pos] != ':')
+                    return error("expected ':'");
+                ++pos;
+                if (!value(out.fields[key]))
+                    return false;
+                skipWs();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < s.size() && s[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return error("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                out.items.emplace_back();
+                if (!value(out.items.back()))
+                    return false;
+                skipWs();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < s.size() && s[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return error("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.b = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.b = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            char *end = nullptr;
+            out.kind = JsonValue::Kind::Number;
+            out.num = std::strtod(s.c_str() + pos, &end);
+            if (end == s.c_str() + pos)
+                return error("bad number");
+            pos = static_cast<std::size_t>(end - s.c_str());
+            return true;
+        }
+        return error("unexpected character");
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+    std::string fail;
+};
+
+const JsonValue kNullJson;
+
 } // namespace
+
+const JsonValue &
+JsonValue::operator[](const std::string &key) const
+{
+    auto it = fields.find(key);
+    return it == fields.end() ? kNullJson : it->second;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    return i < items.size() ? items[i] : kNullJson;
+}
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string *err)
+{
+    out = JsonValue();
+    return JsonParser(text).parse(out, err);
+}
 
 std::string
 reportJson(const JrpmReport &rep)

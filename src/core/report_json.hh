@@ -9,6 +9,7 @@
 #ifndef JRPM_CORE_REPORT_JSON_HH
 #define JRPM_CORE_REPORT_JSON_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,38 @@
 
 namespace jrpm
 {
+
+/**
+ * A parsed JSON value, so exported reports can be read back and
+ * asserted on (round-trip tests, replay tooling) without an external
+ * dependency.  Only what reportJson() emits is needed: null, bool,
+ * double numbers, strings, arrays, objects.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool boolean() const { return kind == Kind::Bool && b; }
+    double number() const { return kind == Kind::Number ? num : 0.0; }
+
+    /** Object member lookup; a shared Null value when absent. */
+    const JsonValue &operator[](const std::string &key) const;
+    /** Array element; a shared Null value when out of range. */
+    const JsonValue &at(std::size_t i) const;
+};
+
+/** Parse one JSON document.  @return false (and *err) on malformed
+ *  input, including trailing garbage. */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string *err = nullptr);
 
 /** One report as a JSON object (phases, selections, speedups,
  *  oracle verdict, crystal provenance). */

@@ -30,7 +30,7 @@ BatchDriver::run(std::vector<DriverJob> jobs)
     // Attach the shared repository and warm policy to jobs that did
     // not bring their own.
     for (DriverJob &job : jobs) {
-        if (!job.cfg.crystal.repo && repoOwned) {
+        if (!job.cfg.crystal.repo && repoOwned && !job.custom) {
             job.cfg.crystal.repo = repoOwned.get();
             job.cfg.crystal.warm = cfg.warm;
         }
@@ -54,8 +54,12 @@ BatchDriver::run(std::vector<DriverJob> jobs)
                        job.workload.name.c_str());
             const auto t0 = std::chrono::steady_clock::now();
             try {
-                JrpmSystem sys(job.workload, job.cfg);
-                res.report = sys.run();
+                if (job.custom) {
+                    res.report = job.custom();
+                } else {
+                    JrpmSystem sys(job.workload, job.cfg);
+                    res.report = sys.run();
+                }
                 res.ok = true;
             } catch (const std::exception &e) {
                 res.error = e.what();

@@ -17,6 +17,7 @@
 #define JRPM_DRIVER_DRIVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,16 @@ struct DriverJob
 {
     Workload workload;
     JrpmConfig cfg;
+    /**
+     * Optional custom runner replacing the default
+     * JrpmSystem(workload, cfg).run() pipeline — the forge campaign
+     * uses this to add forced-speculation sweeps per scenario while
+     * still riding the pool's scheduling, ordering and error
+     * containment.  The workload field still labels the job for
+     * progress output; crystal attachment is skipped (a custom
+     * runner owns its own config).
+     */
+    std::function<JrpmReport()> custom;
 };
 
 /** What one job produced. */

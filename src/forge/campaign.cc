@@ -1,0 +1,235 @@
+#include "campaign.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "core/oracle.hh"
+#include "driver/driver.hh"
+#include "forge/corpus.hh"
+#include "vm/runtime.hh"
+
+namespace jrpm
+{
+namespace forge
+{
+
+namespace
+{
+
+RunDigest
+digestOf(const RunOutcome &o)
+{
+    RunDigest d;
+    d.halted = o.halted;
+    d.uncaught = o.uncaught;
+    d.exitValue = o.exitValue;
+    d.output = o.vm.output;
+    d.memChecksum = o.memChecksum;
+    d.memImage = o.memImage;
+    return d;
+}
+
+CaseResult
+runCaseImpl(const ScenarioSpec &spec, const JrpmConfig &base,
+            bool forced_sweep, JrpmReport *rep_out)
+{
+    CaseResult cr;
+    cr.seed = spec.seed;
+    cr.axes = spec.axes();
+    cr.stmts = static_cast<std::uint32_t>(spec.body.size());
+
+    const Workload w = scenarioWorkload(spec);
+    JrpmSystem sys(w, base);
+    JrpmReport rep = sys.run();
+
+    cr.ok = true;
+    cr.watchdog = rep.tls.watchdogFired;
+    cr.faultsInjected = rep.tls.faultsInjected;
+    cr.pipelineDiverged = rep.oracle.compared
+                              ? !rep.oracle.match()
+                              : !rep.outputsMatch;
+    if (cr.pipelineDiverged)
+        cr.detail = rep.oracle.compared ? rep.oracle.summary()
+                                        : "outputs differ";
+
+    const bool resultDiffers =
+        rep.tls.halted != rep.seqMain.halted ||
+        rep.tls.uncaught != rep.seqMain.uncaught ||
+        rep.tls.exitValue != rep.seqMain.exitValue ||
+        rep.tls.vm.output != rep.seqMain.vm.output;
+    cr.silent = resultDiffers && rep.oracle.compared &&
+                rep.oracle.match() && !cr.watchdog;
+
+    // Forced-speculation sweep: every loop the JIT accepts, one at a
+    // time, against the pipeline's sequential golden run.
+    if (forced_sweep && base.oracle.mode != OracleMode::Off &&
+        rep.seqMain.halted) {
+        const auto skip =
+            VmRuntime::scratchRegions(base.vm, base.sys.numCpus);
+        const RunDigest golden = digestOf(rep.seqMain);
+        for (const auto &li : sys.jit().loopInfos()) {
+            SelectedStl sel;
+            sel.loopId = li.loopId;
+            const RunOutcome tls = sys.runTls(w.mainArgs, {sel});
+            ++cr.forcedLoops;
+            const OracleReport orep = Oracle::compare(
+                base.oracle, golden, digestOf(tls), skip);
+            if (!orep.match()) {
+                ++cr.forcedDiverged;
+                if (cr.detail.empty())
+                    cr.detail = strfmt("forced loop %d: %s",
+                                       li.loopId,
+                                       orep.summary().c_str());
+            }
+        }
+    }
+
+    if (rep_out)
+        *rep_out = std::move(rep);
+    return cr;
+}
+
+} // namespace
+
+bool
+CaseResult::failing(bool faults_active) const
+{
+    if (!ok)
+        return true;
+    if (faults_active)
+        return silent;
+    return pipelineDiverged || forcedDiverged > 0;
+}
+
+CaseResult
+runCase(const ScenarioSpec &spec, const JrpmConfig &base,
+        bool forced_sweep)
+{
+    return runCaseImpl(spec, base, forced_sweep, nullptr);
+}
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg)
+{
+    const bool faultsActive = !cfg.base.faultPlan.empty();
+
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(cfg.cases);
+    for (std::uint32_t i = 0; i < cfg.cases; ++i)
+        specs.push_back(generate(cfg.seed + i, cfg.axes));
+
+    CampaignResult res;
+    res.cases = cfg.cases;
+    res.results.resize(cfg.cases);
+
+    // Fan the cases out over the batch driver.  Each job's custom
+    // runner fills its own slot; results (and therefore the whole
+    // campaign verdict) are independent of the worker count.
+    std::vector<DriverJob> jobs(cfg.cases);
+    for (std::uint32_t i = 0; i < cfg.cases; ++i) {
+        jobs[i].workload.name =
+            strfmt("forge-seed-%016llx",
+                   static_cast<unsigned long long>(specs[i].seed));
+        jobs[i].custom = [&, i]() {
+            JrpmReport rep;
+            res.results[i] = runCaseImpl(specs[i], cfg.base,
+                                         cfg.forcedSweep, &rep);
+            return rep;
+        };
+    }
+    DriverConfig dc;
+    dc.jobs = cfg.jobs;
+    BatchDriver driver(dc);
+    const std::vector<DriverResult> dres =
+        driver.run(std::move(jobs));
+
+    for (std::uint32_t i = 0; i < cfg.cases; ++i) {
+        CaseResult &cr = res.results[i];
+        if (!dres[i].ok) {
+            // The pipeline (or sweep) threw: record it as a failed
+            // case even though the slot was never filled.
+            cr.seed = specs[i].seed;
+            cr.axes = specs[i].axes();
+            cr.ok = false;
+            cr.error = dres[i].error;
+        }
+        for (std::uint32_t a = 0; a < kNumAxes; ++a)
+            if (cr.axes & (1u << a))
+                ++res.axisScenarios[a];
+        if (!cr.ok)
+            ++res.pipelineErrors;
+        if (cr.pipelineDiverged || cr.forcedDiverged)
+            ++res.divergences;
+        if (faultsActive &&
+            (cr.pipelineDiverged || cr.forcedDiverged))
+            ++res.oracleDetected;
+        if (cr.watchdog)
+            ++res.watchdogs;
+        res.forcedRuns += cr.forcedLoops;
+
+        if (!cr.failing(faultsActive))
+            continue;
+        ++res.failures;
+        CampaignFailure f;
+        f.result = cr;
+        f.original = specs[i];
+        f.shrunk = specs[i];
+        if (cfg.shrinkFailures && cr.ok) {
+            ShrinkOptions so;
+            so.maxProbes = cfg.shrinkProbes;
+            const ShrinkResult sr = shrinkScenario(
+                specs[i],
+                [&](const ScenarioSpec &cand) {
+                    return runCase(cand, cfg.base, cfg.forcedSweep)
+                        .failing(faultsActive);
+                },
+                so);
+            f.shrunk = sr.spec;
+            f.shrinkProbes = sr.probes;
+        }
+        if (!cfg.corpusOut.empty()) {
+            CorpusEntry e = makeCorpusEntry(f.shrunk);
+            f.corpusPath = writeCorpusEntry(cfg.corpusOut, e);
+        }
+        res.failing.push_back(std::move(f));
+    }
+
+    auto &reg = MetricsRegistry::global();
+    reg.counter("forge.cases").inc(res.cases);
+    reg.counter("forge.failures").inc(res.failures);
+    reg.counter("forge.divergences").inc(res.divergences);
+    reg.counter("forge.forced_runs").inc(res.forcedRuns);
+    return res;
+}
+
+std::string
+CampaignResult::summary() const
+{
+    std::string s = strfmt(
+        "%u cases: %u failing, %u pipeline errors, %u divergent "
+        "(%u oracle-detected), %u watchdog, %" PRIu64
+        " forced decompositions\n",
+        cases, failures, pipelineErrors, divergences, oracleDetected,
+        watchdogs, forcedRuns);
+    s += "axis coverage:";
+    for (std::uint32_t a = 0; a < kNumAxes; ++a)
+        s += strfmt(" %s=%u",
+                    axisName(static_cast<StressAxis>(1u << a)),
+                    axisScenarios[a]);
+    s += "\n";
+    for (const CampaignFailure &f : failing) {
+        s += strfmt("  FAIL seed 0x%016llx (%s): %s\n",
+                    static_cast<unsigned long long>(f.result.seed),
+                    axesDescribe(f.result.axes).c_str(),
+                    f.result.ok ? f.result.detail.c_str()
+                                : f.result.error.c_str());
+        if (!f.corpusPath.empty())
+            s += strfmt("       repro (%zu stmts): %s\n",
+                        f.shrunk.body.size(), f.corpusPath.c_str());
+    }
+    return s;
+}
+
+} // namespace forge
+} // namespace jrpm

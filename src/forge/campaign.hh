@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel differential fuzz campaigns over forge scenarios.
+ *
+ * A campaign derives `cases` scenarios from consecutive seeds, runs
+ * each through the full Fig. 1 pipeline (sequential, profiled, TLS)
+ * under the differential oracle on the batch driver's worker pool,
+ * and — for maximum decomposition coverage — additionally
+ * force-speculates every loop the JIT accepts, one at a time,
+ * comparing each forced run's memory image against the sequential
+ * golden (the analyzer's selection policy must never be what hides a
+ * correctness bug).
+ *
+ * With a fault plan composed in (PR 2), detected divergences are the
+ * *expected* outcome and only silent ones — result differs, oracle
+ * clean, watchdog quiet — fail the campaign.  Every failing case is
+ * shrunk to a minimal replayable repro and written into the corpus
+ * directory.
+ *
+ * Results are deterministic in the worker count: scenarios derive
+ * from seeds alone, and the driver reports in input order.
+ */
+
+#ifndef JRPM_FORGE_CAMPAIGN_HH
+#define JRPM_FORGE_CAMPAIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "forge/forge.hh"
+#include "forge/shrink.hh"
+
+namespace jrpm
+{
+namespace forge
+{
+
+struct CampaignConfig
+{
+    std::uint32_t cases = 200;
+    std::uint64_t seed = 0xf063u; ///< scenario i uses seed + i
+    std::uint32_t jobs = 1;       ///< driver worker pool size
+    std::uint32_t axes = kAllAxes;
+    /** Also force-speculate every JIT-accepted loop per scenario. */
+    bool forcedSweep = true;
+    /** Shrink failing cases to minimal repros. */
+    bool shrinkFailures = true;
+    std::uint32_t shrinkProbes = 300;
+    /** Write shrunk repros here ("" = don't persist). */
+    std::string corpusOut;
+    /** Base pipeline config: oracle mode, fault plan, memory. */
+    JrpmConfig base;
+};
+
+/** What one scenario did. */
+struct CaseResult
+{
+    std::uint64_t seed = 0;
+    std::uint32_t axes = 0;
+    std::uint32_t stmts = 0;
+    bool ok = false;             ///< pipeline ran to completion
+    std::string error;           ///< exception text when !ok
+    bool pipelineDiverged = false;
+    std::uint32_t forcedLoops = 0;
+    std::uint32_t forcedDiverged = 0;
+    bool watchdog = false;
+    bool silent = false;         ///< diverged with oracle clean
+    std::uint32_t faultsInjected = 0;
+    std::string detail;          ///< first divergence summary
+
+    /** Does this case fail the campaign?  With faults composed in,
+     *  detected divergences are expected and only silent ones fail;
+     *  without faults any divergence fails. */
+    bool failing(bool faults_active) const;
+};
+
+/** One failing case's repro artifacts. */
+struct CampaignFailure
+{
+    CaseResult result;
+    ScenarioSpec original;
+    ScenarioSpec shrunk;       ///< == original when shrinking is off
+    std::uint32_t shrinkProbes = 0;
+    std::string corpusPath;    ///< "" unless persisted
+};
+
+struct CampaignResult
+{
+    std::uint32_t cases = 0;
+    std::uint32_t failures = 0;
+    std::uint32_t pipelineErrors = 0;
+    std::uint32_t divergences = 0;     ///< cases with any divergence
+    std::uint32_t oracleDetected = 0;  ///< expected under faults
+    std::uint32_t watchdogs = 0;
+    std::uint64_t forcedRuns = 0;
+    /** Scenarios touching each axis, kAxisTable order. */
+    std::array<std::uint32_t, kNumAxes> axisScenarios{};
+    std::vector<CaseResult> results;   ///< input (seed) order
+    std::vector<CampaignFailure> failing;
+
+    bool clean() const { return failures == 0; }
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+/** Run one scenario through the pipeline (+ forced sweep) and
+ *  classify it.  Exposed for the shrinker predicate and tests. */
+CaseResult runCase(const ScenarioSpec &spec, const JrpmConfig &base,
+                   bool forced_sweep);
+
+/** Run a full campaign (see file header). */
+CampaignResult runCampaign(const CampaignConfig &cfg);
+
+} // namespace forge
+} // namespace jrpm
+
+#endif // JRPM_FORGE_CAMPAIGN_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Persistent corpus format for forge scenarios.
+ *
+ * A corpus entry is a versioned, checksummed text file carrying a
+ * scenario's provenance seed, its full statement list (so shrunk
+ * specs — which no longer correspond to any generator seed — stay
+ * replayable), the expected fingerprint of the rendered program, and
+ * optionally the expected sequential exit checksum.  Loading rejects
+ * wrong magic, a generator-version mismatch (the grammar may have
+ * changed meaning), truncation and content-checksum corruption;
+ * replaying re-renders the spec and verifies the stored program hash
+ * so silent grammar drift is caught before a run is trusted.
+ */
+
+#ifndef JRPM_FORGE_CORPUS_HH
+#define JRPM_FORGE_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "forge/forge.hh"
+
+namespace jrpm
+{
+namespace forge
+{
+
+/** One persisted scenario plus its replay expectations. */
+struct CorpusEntry
+{
+    ScenarioSpec spec;
+    /** hashProgram(render(spec)) at save time. */
+    std::uint64_t programHash = 0;
+    /** Expected sequential exit checksum; valid iff haveExit. */
+    Word expectedExit = 0;
+    bool haveExit = false;
+
+    /** Canonical file name ("forge-<fingerprint>.scenario"). */
+    std::string fileName() const;
+};
+
+/** Versioned, checksummed text serialization. */
+std::string serializeCorpusEntry(const CorpusEntry &entry);
+
+/**
+ * Parse a serialized entry.  Rejects wrong magic, wrong forge
+ * version, truncation and checksum mismatch.
+ * @param err optional diagnostic on failure
+ */
+bool deserializeCorpusEntry(const std::string &text, CorpusEntry &out,
+                            std::string *err = nullptr);
+
+/** Write an entry into @p dir (created if needed) under its
+ *  canonical name.  @return the path, or "" on I/O error. */
+std::string writeCorpusEntry(const std::string &dir,
+                             const CorpusEntry &entry);
+
+/** Load one entry from a file.  @return false with @p err set on
+ *  read or parse failure. */
+bool readCorpusEntry(const std::string &path, CorpusEntry &out,
+                     std::string *err = nullptr);
+
+/** Sorted paths of the "*.scenario" files in a directory. */
+std::vector<std::string> listCorpus(const std::string &dir);
+
+/** Build an entry for a spec: renders it, records the program hash,
+ *  and (when @p with_exit) runs it sequentially to pin the expected
+ *  exit checksum. */
+CorpusEntry makeCorpusEntry(const ScenarioSpec &spec,
+                            bool with_exit = true);
+
+} // namespace forge
+} // namespace jrpm
+
+#endif // JRPM_FORGE_CORPUS_HH

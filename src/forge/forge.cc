@@ -1,0 +1,647 @@
+#include "forge.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace jrpm
+{
+namespace forge
+{
+
+/*
+ * Rendered-program local-variable layout (main method):
+ *   0  n (argument, outer trip count)
+ *   1  array a (n words)
+ *   2  array b (n words)
+ *   3  i (outer loop index)
+ *   4..7  carried scratch locals ("c" in the grammar comments)
+ *   8  reset-able inductor
+ *   9  inner-loop accumulator
+ *   10 reduction sum
+ *   11 inner-loop index j
+ *   12 inner-loop limit
+ *   13 object ref scratch
+ */
+namespace
+{
+
+constexpr std::uint32_t kNumLocals = 14;
+constexpr std::int32_t kUserExc = 3; ///< ExcKind::User
+
+/** Clamp a (possibly shrunk or hand-edited) parameter into range. */
+std::int32_t
+cl(std::int32_t v, std::int32_t lo, std::int32_t hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/** Carried-scratch slot for a parameter (locals 4..7). */
+std::uint32_t
+carriedSlot(std::int32_t p)
+{
+    return 4 + static_cast<std::uint32_t>(p & 3);
+}
+
+struct AxisRow
+{
+    StressAxis axis;
+    const char *name;
+};
+
+constexpr AxisRow kAxisTable[kNumAxes] = {
+    {StressAxis::Baseline, "baseline"},
+    {StressAxis::NestedLoops, "nested"},
+    {StressAxis::MethodCalls, "calls"},
+    {StressAxis::CondCarried, "condcarried"},
+    {StressAxis::Reductions, "reduction"},
+    {StressAxis::ResetInductors, "resetind"},
+    {StressAxis::SyncBlocks, "sync"},
+    {StressAxis::Exceptions, "exception"},
+    {StressAxis::AllocGc, "alloc"},
+};
+
+struct StmtRow
+{
+    StmtKind kind;
+    const char *name;
+    StressAxis axis;
+};
+
+constexpr StmtRow kStmtTable[kNumStmtKinds] = {
+    {StmtKind::ArrayStore, "arraystore", StressAxis::Baseline},
+    {StmtKind::CarriedUpdate, "carried", StressAxis::Baseline},
+    {StmtKind::CondCarried, "condcarried", StressAxis::CondCarried},
+    {StmtKind::CrossDep, "crossdep", StressAxis::Baseline},
+    {StmtKind::Reduction, "reduction", StressAxis::Reductions},
+    {StmtKind::InnerLoop, "innerloop", StressAxis::NestedLoops},
+    {StmtKind::Call, "call", StressAxis::MethodCalls},
+    {StmtKind::ResetInductor, "resetind", StressAxis::ResetInductors},
+    {StmtKind::SyncBlock, "sync", StressAxis::SyncBlocks},
+    {StmtKind::Throw, "throw", StressAxis::Exceptions},
+    {StmtKind::Alloc, "alloc", StressAxis::AllocGc},
+};
+
+} // namespace
+
+const char *
+axisName(StressAxis axis)
+{
+    for (const AxisRow &r : kAxisTable)
+        if (r.axis == axis)
+            return r.name;
+    return "?";
+}
+
+std::string
+axesDescribe(std::uint32_t mask)
+{
+    std::string out;
+    for (const AxisRow &r : kAxisTable) {
+        if (!(mask & static_cast<std::uint32_t>(r.axis)))
+            continue;
+        if (!out.empty())
+            out += '+';
+        out += r.name;
+    }
+    return out.empty() ? "none" : out;
+}
+
+std::uint32_t
+parseAxes(const std::string &spec)
+{
+    if (spec.empty() || spec == "all")
+        return kAllAxes;
+    std::uint32_t mask = 0;
+    std::string tok;
+    auto flush = [&]() {
+        if (tok.empty())
+            return;
+        bool found = false;
+        for (const AxisRow &r : kAxisTable) {
+            if (tok == r.name) {
+                mask |= static_cast<std::uint32_t>(r.axis);
+                found = true;
+            }
+        }
+        if (!found)
+            fatal("unknown stress axis '%s' (axes: %s)", tok.c_str(),
+                  axesDescribe(kAllAxes).c_str());
+        tok.clear();
+    };
+    for (char c : spec) {
+        if (c == ',' || c == '+')
+            flush();
+        else
+            tok += c;
+    }
+    flush();
+    return mask ? mask : kAllAxes;
+}
+
+const char *
+stmtKindName(StmtKind kind)
+{
+    return kStmtTable[static_cast<std::uint32_t>(kind)].name;
+}
+
+bool
+stmtKindByName(const std::string &name, StmtKind &out)
+{
+    for (const StmtRow &r : kStmtTable) {
+        if (name == r.name) {
+            out = r.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+StressAxis
+stmtAxis(StmtKind kind)
+{
+    return kStmtTable[static_cast<std::uint32_t>(kind)].axis;
+}
+
+std::uint32_t
+ScenarioSpec::axes() const
+{
+    std::uint32_t mask =
+        static_cast<std::uint32_t>(StressAxis::Baseline);
+    for (const ForgeStmt &s : body)
+        mask |= static_cast<std::uint32_t>(stmtAxis(s.kind));
+    return mask;
+}
+
+std::uint64_t
+ScenarioSpec::fingerprint() const
+{
+    Fnv1a h;
+    h.u32(version).i32(n);
+    for (std::int32_t v : init)
+        h.i32(v);
+    h.u64(body.size());
+    for (const ForgeStmt &s : body) {
+        h.byte(static_cast<std::uint8_t>(s.kind));
+        for (std::int32_t p : s.p)
+            h.i32(p);
+    }
+    return h.value();
+}
+
+// ---- generation -------------------------------------------------------
+
+ScenarioSpec
+generate(std::uint64_t seed, std::uint32_t axes_mask)
+{
+    Rng rng(seed);
+    ScenarioSpec spec;
+    spec.seed = seed;
+    spec.n = rng.range(17, 120);
+    for (std::int32_t &v : spec.init)
+        v = rng.range(0, 100);
+
+    // Productions admitted by the mask; Baseline is always in so a
+    // body is never statement-free.
+    std::vector<StmtKind> allowed;
+    const std::uint32_t mask =
+        axes_mask | static_cast<std::uint32_t>(StressAxis::Baseline);
+    for (const StmtRow &r : kStmtTable)
+        if (mask & static_cast<std::uint32_t>(r.axis))
+            allowed.push_back(r.kind);
+
+    const int count = rng.range(3, 10);
+    for (int k = 0; k < count; ++k) {
+        ForgeStmt s;
+        s.kind = allowed[rng.below(
+            static_cast<std::uint32_t>(allowed.size()))];
+        // Parameter draws are unconditional and fixed-order so the
+        // stream position never depends on the kind drawn before.
+        const std::int32_t d0 = rng.range(0, 1023);
+        const std::int32_t d1 = rng.range(0, 1023);
+        const std::int32_t d2 = rng.range(0, 1023);
+        const std::int32_t d3 = rng.range(0, 1023);
+        switch (s.kind) {
+          case StmtKind::ArrayStore:
+            s.p = {1 + d0 % 9, d1 & 3, 0, d3 & 1};
+            break;
+          case StmtKind::CarriedUpdate:
+            s.p = {3 + d0 % 15, d1 & 3, 1 + d2 % 7, 0};
+            break;
+          case StmtKind::CondCarried:
+            s.p = {3 + d0 % 28, d1 & 3, 1 + d2, 0};
+            break;
+          case StmtKind::CrossDep:
+            s.p = {d0 % 7, 0, 0, 0};
+            break;
+          case StmtKind::Reduction:
+            s.p = {0, d1 & 1, 0, 0};
+            break;
+          case StmtKind::InnerLoop:
+            s.p = {2 + d0 % 5, 0, 0, 0};
+            break;
+          case StmtKind::Call:
+            s.p = {1 + d0 % 9, d1 & 3, 1 + d2 % 255, d3 & 1};
+            break;
+          case StmtKind::ResetInductor:
+            s.p = {2 + d0 % 15, 1 + d1 % 5, d2 & 3, 0};
+            break;
+          case StmtKind::SyncBlock:
+            s.p = {d0 & 7, 1 + d1, 0, 0};
+            break;
+          case StmtKind::Throw:
+            s.p = {2 + d0 % 12, 1 + d1 % 100, d2 & 3, 0};
+            break;
+          case StmtKind::Alloc:
+            s.p = {d0 % 51, d1 & 3, d2 & 7, 0};
+            break;
+        }
+        spec.body.push_back(s);
+    }
+    return spec;
+}
+
+// ---- rendering --------------------------------------------------------
+
+namespace
+{
+
+/** Emit one body statement into the main builder. */
+void
+renderStmt(BcBuilder &b, const ForgeStmt &s, std::uint32_t helper_id)
+{
+    switch (s.kind) {
+      case StmtKind::ArrayStore: {
+        // a[i] = i*p0 (+|^) c[p1]
+        b.load(1);
+        b.load(3);
+        b.load(3);
+        b.iconst(cl(s.p[0], 1, 9));
+        b.emit(Bc::IMUL);
+        b.load(carriedSlot(s.p[1]));
+        b.emit((s.p[3] & 1) ? Bc::IXOR : Bc::IADD);
+        b.emit(Bc::IASTORE);
+        break;
+      }
+      case StmtKind::CarriedUpdate: {
+        // c[p1] = (c[p1]*p0 + a[(i*p2) % n]) & 0xffffff
+        const std::uint32_t v = carriedSlot(s.p[1]);
+        b.load(v);
+        b.iconst(cl(s.p[0], 1, 63));
+        b.emit(Bc::IMUL);
+        b.load(1);
+        b.load(3);
+        b.iconst(cl(s.p[2], 1, 7));
+        b.emit(Bc::IMUL);
+        b.load(0);
+        b.emit(Bc::IREM);
+        b.emit(Bc::IALOAD);
+        b.emit(Bc::IADD);
+        b.iconst(0xffffff);
+        b.emit(Bc::IAND);
+        b.store(v);
+        break;
+      }
+      case StmtKind::CondCarried: {
+        // if (i % p0 == 0) c[p1] ^= p2
+        const std::uint32_t v = carriedSlot(s.p[1]);
+        auto skip = b.newLabel();
+        b.load(3);
+        b.iconst(cl(s.p[0], 1, 1 << 20));
+        b.emit(Bc::IREM);
+        b.br(Bc::IFNE, skip);
+        b.load(v);
+        b.iconst(s.p[2]);
+        b.emit(Bc::IXOR);
+        b.store(v);
+        b.bind(skip);
+        break;
+      }
+      case StmtKind::CrossDep: {
+        // b[i] = b[(i+p0) % n] + 1
+        b.load(2);
+        b.load(3);
+        b.load(2);
+        b.load(3);
+        b.iconst(cl(s.p[0], 0, 7));
+        b.emit(Bc::IADD);
+        b.load(0);
+        b.emit(Bc::IREM);
+        b.emit(Bc::IALOAD);
+        b.iconst(1);
+        b.emit(Bc::IADD);
+        b.emit(Bc::IASTORE);
+        break;
+      }
+      case StmtKind::Reduction: {
+        // sum += (a|b)[i]
+        b.load((s.p[1] & 1) ? 1 : 2);
+        b.load(3);
+        b.emit(Bc::IALOAD);
+        b.load(10);
+        b.emit(Bc::IADD);
+        b.store(10);
+        break;
+      }
+      case StmtKind::InnerLoop: {
+        // t = 0; for (j = 0; j < p0; ++j) t += j*i;  a[i] = t
+        b.iconst(cl(s.p[0], 1, 8));
+        b.store(12);
+        b.iconst(0);
+        b.store(9);
+        auto it = b.newLabel(), ie = b.newLabel();
+        b.iconst(0);
+        b.store(11);
+        b.bind(it);
+        b.load(11);
+        b.load(12);
+        b.br(Bc::IF_ICMPGE, ie);
+        b.load(9);
+        b.load(11);
+        b.load(3);
+        b.emit(Bc::IMUL);
+        b.emit(Bc::IADD);
+        b.store(9);
+        b.iinc(11, 1);
+        b.br(Bc::GOTO, it);
+        b.bind(ie);
+        b.load(1);
+        b.load(3);
+        b.load(9);
+        b.emit(Bc::IASTORE);
+        break;
+      }
+      case StmtKind::Call: {
+        // c[p1] = h<k>(i, c[p1])
+        const std::uint32_t v = carriedSlot(s.p[1]);
+        b.load(3);
+        b.load(v);
+        b.emit(Bc::CALL, static_cast<std::int32_t>(helper_id));
+        b.store(v);
+        break;
+      }
+      case StmtKind::ResetInductor: {
+        // if (i % p0 == 0) r = 0;  r += p1;  c[p2] += r
+        auto keep = b.newLabel();
+        b.load(3);
+        b.iconst(cl(s.p[0], 1, 31));
+        b.emit(Bc::IREM);
+        b.br(Bc::IFNE, keep);
+        b.iconst(0);
+        b.store(8);
+        b.bind(keep);
+        b.iinc(8, cl(s.p[1], 1, 7));
+        const std::uint32_t v = carriedSlot(s.p[2]);
+        b.load(v);
+        b.load(8);
+        b.emit(Bc::IADD);
+        b.store(v);
+        break;
+      }
+      case StmtKind::SyncBlock: {
+        // synchronized(lock p0) { s0 = s0 + (i ^ p1) }
+        const std::int32_t lock = s.p[0] & 7;
+        b.emit(Bc::SYNC_ENTER, lock);
+        b.emit(Bc::GETSTATIC, 0);
+        b.load(3);
+        b.iconst(s.p[1]);
+        b.emit(Bc::IXOR);
+        b.emit(Bc::IADD);
+        b.emit(Bc::PUTSTATIC, 0);
+        b.emit(Bc::SYNC_EXIT, lock);
+        break;
+      }
+      case StmtKind::Throw: {
+        // try { if (i % p0 == 0) throw p1; } catch (User) c[p2] += 1
+        const std::uint32_t v = carriedSlot(s.p[2]);
+        auto cont = b.newLabel(), tryb = b.newLabel(),
+             handler = b.newLabel();
+        b.load(3);
+        b.iconst(cl(s.p[0], 1, 31));
+        b.emit(Bc::IREM);
+        b.br(Bc::IFNE, cont);
+        b.bind(tryb);
+        b.iconst(s.p[1]);
+        b.emit(Bc::THROW, kUserExc);
+        b.bind(handler); // also the end of the covered range
+        b.emit(Bc::POP); // the thrown value
+        b.load(v);
+        b.iconst(1);
+        b.emit(Bc::IADD);
+        b.store(v);
+        b.bind(cont);
+        b.addCatch(tryb, handler, handler, kUserExc);
+        break;
+      }
+      case StmtKind::Alloc: {
+        // o = new C; o.f0 = i + p0; c[p1] ^= o.f0;
+        // every 8th object parks in static 1 (stays reachable)
+        const std::uint32_t v = carriedSlot(s.p[1]);
+        b.emit(Bc::NEW, 0);
+        b.store(13);
+        b.load(13);
+        b.load(3);
+        b.iconst(cl(s.p[0], 0, 1 << 20));
+        b.emit(Bc::IADD);
+        b.emit(Bc::PUTF, 0);
+        b.load(v);
+        b.load(13);
+        b.emit(Bc::GETF, 0);
+        b.emit(Bc::IXOR);
+        b.store(v);
+        auto skip = b.newLabel();
+        b.load(3);
+        b.iconst(7);
+        b.emit(Bc::IAND);
+        b.iconst(s.p[2] & 7);
+        b.br(Bc::IF_ICMPNE, skip);
+        b.load(13);
+        b.emit(Bc::PUTSTATIC, 1);
+        b.bind(skip);
+        break;
+      }
+    }
+}
+
+} // namespace
+
+BcProgram
+render(const ScenarioSpec &spec)
+{
+    BcProgram p;
+    p.classes.push_back({"Node", 2});
+    p.numStatics = 2;
+
+    // One helper method per Call statement (its constants are the
+    // statement's parameters); main comes last.
+    std::vector<std::uint32_t> helperOf(spec.body.size(), 0);
+    for (std::size_t k = 0; k < spec.body.size(); ++k) {
+        const ForgeStmt &s = spec.body[k];
+        if (s.kind != StmtKind::Call)
+            continue;
+        helperOf[k] = static_cast<std::uint32_t>(p.methods.size());
+        BcBuilder h(strfmt("h%zu", p.methods.size()), 2, 2, true);
+        h.load(0);
+        h.iconst(cl(s.p[0], 1, 9));
+        h.emit(Bc::IMUL);
+        h.load(1);
+        h.emit(Bc::IADD);
+        h.iconst(s.p[2]);
+        h.emit(Bc::IXOR);
+        // p3 odd: pad past the JIT's inlining threshold so the call
+        // survives into the speculative region as a real call.
+        if (s.p[3] & 1)
+            for (int i = 0; i < 12; ++i)
+                h.emit(Bc::BCNOP);
+        h.emit(Bc::IRET);
+        p.methods.push_back(h.finish());
+    }
+
+    BcBuilder b("main", 1, kNumLocals, true);
+    auto TOP = b.newLabel(), EXIT = b.newLabel();
+
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(1);
+    b.load(0);
+    b.emit(Bc::NEWARRAY);
+    b.store(2);
+    for (std::size_t s = 0; s < spec.init.size(); ++s) {
+        b.iconst(spec.init[s]);
+        b.store(4 + static_cast<std::uint32_t>(s));
+    }
+    b.iconst(0);
+    b.store(13);
+
+    b.iconst(0);
+    b.store(3);
+    b.bind(TOP);
+    b.load(3);
+    b.load(0);
+    b.br(Bc::IF_ICMPGE, EXIT);
+    for (std::size_t k = 0; k < spec.body.size(); ++k)
+        renderStmt(b, spec.body[k], helperOf[k]);
+    b.iinc(3, 1);
+    b.br(Bc::GOTO, TOP);
+    b.bind(EXIT);
+
+    // Checksum: fold carried locals, the sync static and paired
+    // array samples into the reduction sum, then return it.
+    for (std::uint32_t s = 4; s <= 9; ++s) {
+        b.load(s);
+        b.load(10);
+        b.emit(Bc::IADD);
+        b.store(10);
+    }
+    b.emit(Bc::GETSTATIC, 0);
+    b.load(10);
+    b.emit(Bc::IADD);
+    b.store(10);
+    auto FT = b.newLabel(), FE = b.newLabel();
+    b.iconst(0);
+    b.store(3);
+    b.bind(FT);
+    b.load(3);
+    b.load(0);
+    b.br(Bc::IF_ICMPGE, FE);
+    b.load(1);
+    b.load(3);
+    b.emit(Bc::IALOAD);
+    b.load(2);
+    b.load(3);
+    b.emit(Bc::IALOAD);
+    b.emit(Bc::IXOR);
+    b.load(10);
+    b.emit(Bc::IADD);
+    b.store(10);
+    b.iinc(3, 1);
+    b.br(Bc::GOTO, FT);
+    b.bind(FE);
+    b.load(10);
+    b.emit(Bc::IRET);
+
+    p.methods.push_back(b.finish());
+    p.entryMethod = static_cast<std::uint32_t>(p.methods.size() - 1);
+
+    const std::string err = verify(p);
+    if (!err.empty())
+        panic("forge rendered an ill-formed program: %s",
+              err.c_str());
+    return p;
+}
+
+Workload
+scenarioWorkload(const ScenarioSpec &spec)
+{
+    Workload w;
+    w.name = strfmt("forge-%016llx",
+                    static_cast<unsigned long long>(
+                        spec.fingerprint()));
+    w.category = "forge";
+    w.description =
+        strfmt("generated scenario (%s)",
+               axesDescribe(spec.axes()).c_str());
+    w.program = render(spec);
+    w.mainArgs = {static_cast<Word>(std::max(spec.n, 1))};
+    return w;
+}
+
+// ---- starter corpus ---------------------------------------------------
+
+std::vector<ScenarioSpec>
+starterScenarios()
+{
+    // One hand-minimized scenario per stress axis plus one mixed
+    // scenario.  These are small on purpose: each replays through
+    // sequential + every forced decomposition in well under a
+    // second, so the whole set rides in the tier-1 suite.
+    auto mk = [](std::int32_t n,
+                 std::vector<ForgeStmt> body) {
+        ScenarioSpec s;
+        s.n = n;
+        s.init = {1, 2, 3, 4, 0, 0, 0};
+        s.body = std::move(body);
+        return s;
+    };
+    std::vector<ScenarioSpec> out;
+    // baseline: one independent store + one cross-iteration dep
+    out.push_back(mk(33, {{StmtKind::ArrayStore, {3, 0, 0, 0}},
+                          {StmtKind::CrossDep, {2, 0, 0, 0}}}));
+    // carried chain through memory
+    out.push_back(mk(29, {{StmtKind::CarriedUpdate, {5, 1, 2, 0}}}));
+    // conditionally-updated carried local
+    out.push_back(mk(31, {{StmtKind::CondCarried, {3, 2, 77, 0}}}));
+    // reduction
+    out.push_back(mk(40, {{StmtKind::Reduction, {0, 1, 0, 0}},
+                          {StmtKind::ArrayStore, {2, 1, 0, 1}}}));
+    // nested loop
+    out.push_back(mk(21, {{StmtKind::InnerLoop, {4, 0, 0, 0}}}));
+    // method calls: one inlinable, one padded past the threshold
+    out.push_back(mk(27, {{StmtKind::Call, {3, 0, 19, 0}},
+                          {StmtKind::Call, {5, 1, 41, 1}}}));
+    // reset-able inductor
+    out.push_back(mk(35, {{StmtKind::ResetInductor, {4, 2, 1, 0}}}));
+    // synchronized block (lock-elision path)
+    out.push_back(mk(25, {{StmtKind::SyncBlock, {1, 9, 0, 0}}}));
+    // exception thrown inside the speculative region
+    out.push_back(mk(23, {{StmtKind::Throw, {3, 7, 0, 0}},
+                          {StmtKind::Reduction, {0, 0, 0, 0}}}));
+    // allocation / GC pressure
+    out.push_back(mk(45, {{StmtKind::Alloc, {11, 0, 3, 0}}}));
+    // mixed: every axis in one scenario
+    out.push_back(mk(37, {{StmtKind::ArrayStore, {4, 0, 0, 1}},
+                          {StmtKind::InnerLoop, {3, 0, 0, 0}},
+                          {StmtKind::Call, {2, 1, 5, 0}},
+                          {StmtKind::CondCarried, {5, 3, 13, 0}},
+                          {StmtKind::Reduction, {0, 1, 0, 0}},
+                          {StmtKind::ResetInductor, {6, 1, 2, 0}},
+                          {StmtKind::SyncBlock, {2, 3, 0, 0}},
+                          {StmtKind::Throw, {7, 11, 1, 0}},
+                          {StmtKind::Alloc, {1, 2, 5, 0}}}));
+    return out;
+}
+
+} // namespace forge
+} // namespace jrpm

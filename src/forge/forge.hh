@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Scenario forge — a deterministic, grammar-based generator of
+ * BcProgram workloads covering the full feature surface the JIT and
+ * the TLS runtime claim to support.
+ *
+ * The grammar produces a structured ScenarioSpec (an outer loop over
+ * a parameterized statement list) rather than raw bytecode, so the
+ * same spec can be rendered, fingerprinted, serialized into a corpus
+ * entry, and — crucially — *shrunk*: the delta-debugging minimizer in
+ * shrink.hh operates on the statement list and re-renders, which is
+ * how a failing 10-statement scenario collapses to a 1-2 statement
+ * replayable repro.
+ *
+ * Every statement kind is tagged with the stress axis it exercises
+ * (nested loops, method calls / inlining, conditional carried
+ * dependencies, reductions, reset-able inductors, synchronized
+ * blocks, in-region exceptions, allocation/GC pressure), so
+ * campaigns can both target an axis and assert grammar coverage.
+ *
+ * Determinism contract: generate(seed, mask) draws from the pinned
+ * Rng stream (common/random.hh) in a fixed order, and render(spec)
+ * is a pure function of the spec — the same seed yields a
+ * bit-identical program on every platform and compiler, and a golden
+ * program fingerprint is regression-tested in tests/test_forge.cc.
+ * Any change to the grammar, the statement layout or the rendering
+ * must bump kForgeVersion: corpus entries from other versions are
+ * rejected on load.
+ */
+
+#ifndef JRPM_FORGE_FORGE_HH
+#define JRPM_FORGE_FORGE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/jrpm.hh"
+
+namespace jrpm
+{
+namespace forge
+{
+
+/** Bump on any change to the grammar or to render() semantics. */
+constexpr std::uint32_t kForgeVersion = 1;
+
+/** What a generated scenario stresses (bitmask values). */
+enum class StressAxis : std::uint32_t
+{
+    Baseline = 1u << 0,   ///< array / carried / cross-iteration mix
+    NestedLoops = 1u << 1,
+    MethodCalls = 1u << 2, ///< incl. inlining candidates
+    CondCarried = 1u << 3, ///< conditionally-updated carried locals
+    Reductions = 1u << 4,
+    ResetInductors = 1u << 5,
+    SyncBlocks = 1u << 6,  ///< lock-elision path
+    Exceptions = 1u << 7,  ///< thrown inside speculative regions
+    AllocGc = 1u << 8,     ///< allocation + GC pressure
+};
+
+constexpr std::uint32_t kNumAxes = 9;
+constexpr std::uint32_t kAllAxes = (1u << kNumAxes) - 1;
+
+/** Stable short name ("baseline", "nested", ...). */
+const char *axisName(StressAxis axis);
+
+/** "nested+sync+alloc" style description of a mask. */
+std::string axesDescribe(std::uint32_t mask);
+
+/** Parse "all" or a comma/plus-separated list of axis names;
+ *  fatal() on an unknown name. */
+std::uint32_t parseAxes(const std::string &spec);
+
+/** The grammar's statement productions (outer-loop body). */
+enum class StmtKind : std::uint8_t
+{
+    ArrayStore,    ///< a[i] = i*c (+|^) carried      [Baseline]
+    CarriedUpdate, ///< c = (c*k + a[(i*m)%n]) & mask [Baseline]
+    CondCarried,   ///< if (i%p == 0) c ^= k          [CondCarried]
+    CrossDep,      ///< b[i] = b[(i+d)%n] + 1         [Baseline]
+    Reduction,     ///< sum += a|b[i]                 [Reductions]
+    InnerLoop,     ///< for j<m: t += j*i; a[i] = t   [NestedLoops]
+    Call,          ///< c = helper(i, c)              [MethodCalls]
+    ResetInductor, ///< if (i%p==0) r=0; r+=s; c+=r   [ResetInductors]
+    SyncBlock,     ///< sync{ s0 += i^k }             [SyncBlocks]
+    Throw,         ///< try{ if(i%p==0) throw }catch  [Exceptions]
+    Alloc,         ///< o=new C; o.f=i+k; c^=o.f      [AllocGc]
+};
+
+constexpr std::uint32_t kNumStmtKinds = 11;
+
+const char *stmtKindName(StmtKind kind);
+/** @return false on an unknown name. */
+bool stmtKindByName(const std::string &name, StmtKind &out);
+/** The stress axis a production exercises. */
+StressAxis stmtAxis(StmtKind kind);
+
+/**
+ * One loop-body statement: a production plus its parameters.  Param
+ * meaning is per kind (see the grammar comments in forge.cc); render
+ * clamps every parameter into its valid range, so any integers —
+ * including shrinker-minimized or hand-edited ones — render to a
+ * verifiable program.
+ */
+struct ForgeStmt
+{
+    StmtKind kind = StmtKind::ArrayStore;
+    std::array<std::int32_t, 4> p{0, 0, 0, 0};
+
+    bool
+    operator==(const ForgeStmt &o) const
+    {
+        return kind == o.kind && p == o.p;
+    }
+};
+
+/** A complete scenario: trip count, initial state, loop body. */
+struct ScenarioSpec
+{
+    std::uint32_t version = kForgeVersion;
+    /** Generation provenance; 0 for hand-built or shrunk specs. */
+    std::uint64_t seed = 0;
+    /** Trip count of the outer loop == the program's main arg. */
+    std::int32_t n = 64;
+    /** Initial values of locals 4..10 (carried scratch, reset
+     *  inductor, inner accumulator, reduction sum). */
+    std::array<std::int32_t, 7> init{};
+    std::vector<ForgeStmt> body;
+
+    /** OR of the axes the body statements exercise (never empty:
+     *  the loop skeleton itself counts as Baseline). */
+    std::uint32_t axes() const;
+
+    /** Deterministic FNV-1a identity of the spec (version, n, init,
+     *  body); independent of the provenance seed. */
+    std::uint64_t fingerprint() const;
+
+    bool
+    operator==(const ScenarioSpec &o) const
+    {
+        return version == o.version && n == o.n && init == o.init &&
+               body == o.body;
+    }
+};
+
+/**
+ * The grammar entry point: derive a scenario from a seed.  Statement
+ * kinds are drawn only from productions whose axis is in @p
+ * axes_mask (Baseline productions are always admitted so a body is
+ * never empty).
+ */
+ScenarioSpec generate(std::uint64_t seed,
+                      std::uint32_t axes_mask = kAllAxes);
+
+/**
+ * Render a spec into a verified-well-formed bytecode program:
+ * `int main(int n)` allocating two n-word arrays, running the body
+ * statements n times, then folding carried locals, statics and array
+ * samples into a returned checksum.  Pure function of the spec.
+ */
+BcProgram render(const ScenarioSpec &spec);
+
+/** A ready-to-run workload ("forge-<fingerprint>") for a spec. */
+Workload scenarioWorkload(const ScenarioSpec &spec);
+
+/**
+ * The checked-in starter corpus: one hand-minimized scenario per
+ * stress axis plus one mixed scenario (~10 total), used to seed
+ * tests/corpus/ and as replay regression anchors.
+ */
+std::vector<ScenarioSpec> starterScenarios();
+
+} // namespace forge
+} // namespace jrpm
+
+#endif // JRPM_FORGE_FORGE_HH

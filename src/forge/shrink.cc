@@ -1,0 +1,186 @@
+#include "shrink.hh"
+
+#include <set>
+#include <vector>
+
+namespace jrpm
+{
+namespace forge
+{
+
+namespace
+{
+
+/** Shared probe state: budget, memoization, acceptance counter. */
+struct Prober
+{
+    const FailPredicate &fails;
+    const ShrinkOptions &opt;
+    std::uint32_t probes = 0;
+    std::uint32_t accepted = 0;
+    std::set<std::uint64_t> seen;
+
+    Prober(const FailPredicate &f, const ShrinkOptions &o)
+        : fails(f), opt(o)
+    {}
+
+    bool
+    budgetLeft() const
+    {
+        return probes < opt.maxProbes;
+    }
+
+    /** Evaluate a candidate; memoized, budget-charged. */
+    bool
+    stillFails(const ScenarioSpec &cand)
+    {
+        if (!budgetLeft())
+            return false;
+        if (!seen.insert(cand.fingerprint()).second)
+            return false; // already probed (and not adopted)
+        ++probes;
+        const bool f = fails(cand);
+        if (f)
+            ++accepted;
+        return f;
+    }
+};
+
+/** ddmin-style chunk removal over the statement list.  @return true
+ *  if @p cur changed. */
+bool
+shrinkBody(ScenarioSpec &cur, Prober &pr)
+{
+    bool changed = false;
+    std::size_t chunk = std::max<std::size_t>(cur.body.size() / 2, 1);
+    while (chunk >= 1 && pr.budgetLeft()) {
+        bool removed = false;
+        for (std::size_t at = 0;
+             at + chunk <= cur.body.size() && pr.budgetLeft();) {
+            if (cur.body.size() <= 1)
+                break; // keep at least one statement to fail with
+            ScenarioSpec cand = cur;
+            cand.body.erase(cand.body.begin() + at,
+                            cand.body.begin() + at + chunk);
+            if (!cand.body.empty() && pr.stillFails(cand)) {
+                cur = std::move(cand);
+                changed = removed = true;
+                // same position now holds the next chunk
+            } else {
+                ++at;
+            }
+        }
+        if (!removed) {
+            if (chunk == 1)
+                break;
+            chunk /= 2;
+        }
+    }
+    return changed;
+}
+
+/** Pull the trip count toward minN. */
+bool
+shrinkN(ScenarioSpec &cur, Prober &pr)
+{
+    bool changed = false;
+    // Try the floor outright, then binary descent.
+    for (;;) {
+        if (!pr.budgetLeft() || cur.n <= pr.opt.minN)
+            return changed;
+        ScenarioSpec cand = cur;
+        cand.n = pr.opt.minN;
+        if (pr.stillFails(cand)) {
+            cur = std::move(cand);
+            return true;
+        }
+        cand = cur;
+        cand.n = pr.opt.minN + (cur.n - pr.opt.minN) / 2;
+        if (cand.n >= cur.n || !pr.stillFails(cand))
+            return changed;
+        cur = std::move(cand);
+        changed = true;
+    }
+}
+
+/** Pull parameters and initial locals toward 0/1. */
+bool
+shrinkValues(ScenarioSpec &cur, Prober &pr)
+{
+    bool changed = false;
+    // edit(spec, v) writes candidate value v into one slot; returns
+    // the slot's current value.
+    auto attempt = [&](auto read, auto write) {
+        for (std::int32_t v : {0, 1, 2}) {
+            const std::int32_t old = read(cur);
+            if (old == v)
+                return;
+            if (old > 0 && old < v)
+                return; // already smaller and non-negative
+            if (!pr.budgetLeft())
+                return;
+            ScenarioSpec cand = cur;
+            write(cand, v);
+            if (pr.stillFails(cand)) {
+                cur = std::move(cand);
+                changed = true;
+                return;
+            }
+        }
+    };
+    for (std::size_t i = 0; i < cur.init.size() && pr.budgetLeft();
+         ++i)
+        attempt(
+            [i](const ScenarioSpec &s) { return s.init[i]; },
+            [i](ScenarioSpec &s, std::int32_t v) { s.init[i] = v; });
+    for (std::size_t i = 0; i < cur.body.size() && pr.budgetLeft();
+         ++i)
+        for (std::size_t j = 0; j < cur.body[i].p.size(); ++j)
+            attempt(
+                [i, j](const ScenarioSpec &s) {
+                    return s.body[i].p[j];
+                },
+                [i, j](ScenarioSpec &s, std::int32_t v) {
+                    s.body[i].p[j] = v;
+                });
+    return changed;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkScenario(const ScenarioSpec &start, const FailPredicate &fails,
+               const ShrinkOptions &opt)
+{
+    ShrinkResult res;
+    res.spec = start;
+    res.spec.version = kForgeVersion;
+
+    if (!fails(res.spec)) {
+        res.probes = 1;
+        return res; // not failing: nothing to shrink
+    }
+    res.failing = true;
+
+    Prober pr(fails, opt);
+    pr.seen.insert(res.spec.fingerprint());
+    pr.probes = 1; // the confirmation probe above
+
+    // Statements first (the biggest wins), then the trip count, then
+    // parameter cleanup; repeat until a whole pass changes nothing.
+    for (bool changed = true; changed && pr.budgetLeft();) {
+        changed = false;
+        changed |= shrinkBody(res.spec, pr);
+        changed |= shrinkN(res.spec, pr);
+        changed |= shrinkValues(res.spec, pr);
+    }
+    // The shrunk spec is hand-shaped now; seed provenance no longer
+    // regenerates it.
+    res.spec.seed = 0;
+    res.probes = pr.probes;
+    res.accepted = pr.accepted;
+    return res;
+}
+
+} // namespace forge
+} // namespace jrpm

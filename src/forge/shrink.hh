@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Delta-debugging shrinker for forge scenarios.
+ *
+ * Given a failing scenario and a predicate that re-checks the
+ * failure, the shrinker minimizes along three dimensions — body
+ * statements (ddmin chunk removal), the trip count, and statement
+ * parameters / initial locals (pulled toward small canonical values)
+ * — iterating to a fixpoint under a probe budget.  The predicate is
+ * consulted after every candidate edit, so the result is always a
+ * spec that still fails; probes are memoized by spec fingerprint so
+ * revisited candidates cost nothing.  The whole process is
+ * deterministic: no randomness, fixed edit order.
+ */
+
+#ifndef JRPM_FORGE_SHRINK_HH
+#define JRPM_FORGE_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "forge/forge.hh"
+
+namespace jrpm
+{
+namespace forge
+{
+
+/** Returns true while the scenario still exhibits the failure. */
+using FailPredicate = std::function<bool(const ScenarioSpec &)>;
+
+struct ShrinkOptions
+{
+    /** Upper bound on predicate evaluations (each may be a full
+     *  pipeline run, so this bounds wall-clock). */
+    std::uint32_t maxProbes = 400;
+    /** Smallest trip count the shrinker will try. */
+    std::int32_t minN = 2;
+};
+
+struct ShrinkResult
+{
+    ScenarioSpec spec;          ///< the minimized, still-failing spec
+    std::uint32_t probes = 0;   ///< predicate evaluations spent
+    std::uint32_t accepted = 0; ///< edits that kept the failure
+    /** False iff the input itself did not fail (nothing to shrink —
+     *  spec is returned unchanged). */
+    bool failing = false;
+};
+
+/** Minimize @p start against @p fails (see file header). */
+ShrinkResult shrinkScenario(const ScenarioSpec &start,
+                            const FailPredicate &fails,
+                            const ShrinkOptions &opt = {});
+
+} // namespace forge
+} // namespace jrpm
+
+#endif // JRPM_FORGE_SHRINK_HH

@@ -644,6 +644,35 @@ MethodCompiler::classifyLoopVars(SelPlan &plan)
                 first != INT32_MAX && last_store >= 0 &&
                 nest.innermostAt(first) == plan.loop->loopId &&
                 nest.innermostAt(last_store) == plan.loop->loopId;
+            // The lock word carries the iteration number (Fig. 6):
+            // every iteration must acquire at `first` and advance
+            // the lock after `last_store` exactly once, so the
+            // whole region has to run unconditionally.  A skipped
+            // or repeated region leaves the lock stale and the
+            // successor reads an unforwarded value.
+            direct = direct &&
+                     onceEveryIteration(*plan.loop, first) &&
+                     onceEveryIteration(*plan.loop, last_store);
+            // Every path through any access must also enter the
+            // region at `first` and leave it past `last_store`: a
+            // branch around a conditional first store would update
+            // the variable without holding the lock (and release a
+            // lock it never took).
+            for (std::int32_t i : plan.loop->body) {
+                if (!direct)
+                    break;
+                const BcInst &inst = m.code[i];
+                const bool src_in = i >= first && i < last_store;
+                if (bcIsBranch(inst.op)) {
+                    const bool dst_in = inst.imm > first &&
+                                        inst.imm <= last_store;
+                    if (src_in != dst_in)
+                        direct = false;
+                } else if (src_in && (inst.op == Bc::CALL ||
+                                      bcIsTerminator(inst.op))) {
+                    direct = false;
+                }
+            }
             if (direct) {
                 it->second.cls = VarClass::CarriedSync;
                 plan.syncFirst = first;
@@ -2196,6 +2225,11 @@ Jit::inlinePass()
                 }
                 out.push_back(ci);
             }
+        }
+        for (BcCatch &c : mm.catches) {
+            c.begin = remap[c.begin];
+            c.end = remap[c.end];
+            c.handler = remap[c.handler];
         }
         mm.numLocals = extra_base;
         mm.code = std::move(out);

@@ -1,201 +1,25 @@
 /**
  * @file
- * Property-based tests: randomly generated loop programs must produce
- * identical results sequentially and under forced speculative
- * execution, across every optimization configuration.  This sweeps a
- * far larger space of carried-variable shapes, conditional updates,
- * array aliasing patterns and loop-nest forms than the hand-written
- * suites.
+ * Property-based tests over forge-generated scenarios: every program
+ * the grammar produces must behave identically sequentially and under
+ * forced speculative execution, across every optimization
+ * configuration, down to the full final memory image.  The generator
+ * itself lives in src/forge (shared with the campaign runner and the
+ * shrinker); these tests pin the correctness property it exists to
+ * stress.
  */
 
 #include <gtest/gtest.h>
 
-#include "common/random.hh"
 #include "core/jrpm.hh"
+#include "core/oracle.hh"
+#include "forge/forge.hh"
+#include "vm/runtime.hh"
 
 namespace jrpm
 {
 namespace
 {
-
-/**
- * Generate `int main(int n)`: allocates two arrays, then runs a
- * randomly shaped outer loop whose body mixes independent array
- * updates, carried locals updated by random (possibly conditional)
- * expressions, inductor-like counters, reductions, and an optional
- * small inner loop.  Returns a checksum.
- */
-BcProgram
-randomProgram(Rng &rng)
-{
-    BcProgram p;
-    // locals: 0=n 1=a 2=b 3=i 4..9 scratch/carried, 10=sum, 11=j,
-    //         12=inner limit
-    BcBuilder b("main", 1, 13, true);
-    auto TOP = b.newLabel(), EXIT = b.newLabel();
-
-    b.load(0);
-    b.emit(Bc::NEWARRAY);
-    b.store(1);
-    b.load(0);
-    b.emit(Bc::NEWARRAY);
-    b.store(2);
-    for (std::uint32_t s = 4; s <= 10; ++s) {
-        b.iconst(rng.range(0, 100));
-        b.store(s);
-    }
-
-    b.iconst(0);
-    b.store(3);
-    b.bind(TOP);
-    b.load(3);
-    b.load(0);
-    b.br(Bc::IF_ICMPGE, EXIT);
-
-    const int num_stmts = rng.range(3, 8);
-    for (int k = 0; k < num_stmts; ++k) {
-        switch (rng.below(6)) {
-          case 0: {
-            // a[i] = f(i, carried)
-            b.load(1);
-            b.load(3);
-            b.load(3);
-            b.iconst(rng.range(1, 9));
-            b.emit(Bc::IMUL);
-            b.load(4 + rng.below(4));
-            b.emit(rng.chance(0.5) ? Bc::IADD : Bc::IXOR);
-            b.emit(Bc::IASTORE);
-            break;
-          }
-          case 1: {
-            // carried = (carried * c + a[g(i)]) & mask
-            const std::uint32_t v = 4 + rng.below(4);
-            b.load(v);
-            b.iconst(rng.range(3, 17));
-            b.emit(Bc::IMUL);
-            b.load(1);
-            b.load(3);
-            b.iconst(rng.range(1, 7));
-            b.emit(Bc::IMUL);
-            b.load(0);
-            b.emit(Bc::IREM);
-            b.emit(Bc::IALOAD);
-            b.emit(Bc::IADD);
-            b.iconst(0xffffff);
-            b.emit(Bc::IAND);
-            b.store(v);
-            break;
-          }
-          case 2: {
-            // conditional update of a carried local
-            const std::uint32_t v = 4 + rng.below(4);
-            auto skip = b.newLabel();
-            b.load(3);
-            b.iconst(rng.range(3, 30));
-            b.emit(Bc::IREM);
-            b.br(Bc::IFNE, skip);
-            b.load(v);
-            b.iconst(rng.range(1, 1000));
-            b.emit(Bc::IXOR);
-            b.store(v);
-            b.bind(skip);
-            break;
-          }
-          case 3: {
-            // b[i] = b[(i+d) % n] + 1  (possible cross-iteration dep)
-            b.load(2);
-            b.load(3);
-            b.load(2);
-            b.load(3);
-            b.iconst(rng.range(0, 6));
-            b.emit(Bc::IADD);
-            b.load(0);
-            b.emit(Bc::IREM);
-            b.emit(Bc::IALOAD);
-            b.iconst(1);
-            b.emit(Bc::IADD);
-            b.emit(Bc::IASTORE);
-            break;
-          }
-          case 4: {
-            // reduction fold of an array element
-            b.load(2);
-            b.load(3);
-            b.emit(Bc::IALOAD);
-            b.load(10);
-            b.emit(Bc::IADD);
-            b.store(10);
-            break;
-          }
-          case 5: {
-            // small inner loop accumulating into a private temp
-            b.iconst(rng.range(2, 6));
-            b.store(12);
-            b.iconst(0);
-            b.store(9);
-            auto it = b.newLabel(), ie = b.newLabel();
-            b.iconst(0);
-            b.store(11);
-            b.bind(it);
-            b.load(11);
-            b.load(12);
-            b.br(Bc::IF_ICMPGE, ie);
-            b.load(9);
-            b.load(11);
-            b.load(3);
-            b.emit(Bc::IMUL);
-            b.emit(Bc::IADD);
-            b.store(9);
-            b.iinc(11, 1);
-            b.br(Bc::GOTO, it);
-            b.bind(ie);
-            b.load(1);
-            b.load(3);
-            b.load(9);
-            b.emit(Bc::IASTORE);
-            break;
-          }
-        }
-    }
-
-    b.iinc(3, 1);
-    b.br(Bc::GOTO, TOP);
-    b.bind(EXIT);
-
-    // checksum = sum + all carried locals + array samples
-    for (std::uint32_t s = 4; s <= 10; ++s) {
-        b.load(s);
-        b.load(10);
-        b.emit(Bc::IADD);
-        b.store(10);
-    }
-    auto FT = b.newLabel(), FE = b.newLabel();
-    b.iconst(0);
-    b.store(3);
-    b.bind(FT);
-    b.load(3);
-    b.load(0);
-    b.br(Bc::IF_ICMPGE, FE);
-    b.load(1);
-    b.load(3);
-    b.emit(Bc::IALOAD);
-    b.load(2);
-    b.load(3);
-    b.emit(Bc::IALOAD);
-    b.emit(Bc::IXOR);
-    b.load(10);
-    b.emit(Bc::IADD);
-    b.store(10);
-    b.iinc(3, 1);
-    b.br(Bc::GOTO, FT);
-    b.bind(FE);
-    b.load(10);
-    b.emit(Bc::IRET);
-
-    p.methods.push_back(b.finish());
-    p.entryMethod = 0;
-    return p;
-}
 
 class RandomTls : public ::testing::TestWithParam<int>
 {
@@ -203,14 +27,10 @@ class RandomTls : public ::testing::TestWithParam<int>
 
 TEST_P(RandomTls, ForcedSpeculationMatchesSequential)
 {
-    Rng rng(0xfeed0000u + static_cast<unsigned>(GetParam()));
-    BcProgram prog = randomProgram(rng);
-    ASSERT_EQ(verify(prog), "");
-
-    Workload w;
-    w.name = "random";
-    w.program = std::move(prog);
-    w.mainArgs = {static_cast<Word>(rng.range(17, 120))};
+    const forge::ScenarioSpec spec =
+        forge::generate(0xfeed0000u + static_cast<unsigned>(GetParam()));
+    const Workload w = forge::scenarioWorkload(spec);
+    ASSERT_EQ(verify(w.program), "");
 
     JrpmSystem sys(w);
     RunOutcome seq = sys.runSequential(w.mainArgs, false, nullptr);
@@ -226,7 +46,8 @@ TEST_P(RandomTls, ForcedSpeculationMatchesSequential)
         RunOutcome tls = sys.runTls(w.mainArgs, {sel});
         ASSERT_TRUE(tls.halted) << "loop " << li.loopId;
         EXPECT_EQ(tls.exitValue, seq.exitValue)
-            << "loop " << li.loopId << " seed " << GetParam();
+            << "loop " << li.loopId << " seed " << GetParam()
+            << " axes " << forge::axesDescribe(spec.axes());
     }
 }
 
@@ -239,22 +60,19 @@ class RandomTlsAblations : public ::testing::TestWithParam<int>
 
 TEST_P(RandomTlsAblations, AllOptConfigsMatchSequential)
 {
-    Rng rng(0xabba0000u + static_cast<unsigned>(GetParam()));
-    BcProgram prog = randomProgram(rng);
-    ASSERT_EQ(verify(prog), "");
-
-    Workload w;
-    w.name = "random";
-    w.program = std::move(prog);
-    w.mainArgs = {static_cast<Word>(rng.range(30, 90))};
+    const forge::ScenarioSpec spec =
+        forge::generate(0xabba0000u + static_cast<unsigned>(GetParam()));
+    const Workload w = forge::scenarioWorkload(spec);
+    ASSERT_EQ(verify(w.program), "");
 
     Word expected = 0;
     bool first = true;
-    for (int mask = 0; mask < 8; ++mask) {
+    for (int mask = 0; mask < 16; ++mask) {
         JrpmConfig cfg;
         cfg.jit.optLocalInductors = !(mask & 1);
         cfg.jit.optReductions = !(mask & 2);
         cfg.jit.optLoopInvariantRegs = !(mask & 4);
+        cfg.jit.optSyncLocks = !(mask & 8);
         JrpmSystem sys(w, cfg);
         RunOutcome seq =
             sys.runSequential(w.mainArgs, false, nullptr);
@@ -287,14 +105,10 @@ class OracleFuzz : public ::testing::TestWithParam<int>
 
 TEST_P(OracleFuzz, StrictOracleCleanAcrossSeeds)
 {
-    Rng rng(0x0ac1e000u + static_cast<unsigned>(GetParam()));
-    BcProgram prog = randomProgram(rng);
-    ASSERT_EQ(verify(prog), "");
-
-    Workload w;
-    w.name = "oraclefuzz";
-    w.program = std::move(prog);
-    w.mainArgs = {static_cast<Word>(rng.range(17, 120))};
+    const forge::ScenarioSpec spec =
+        forge::generate(0x0ac1e000u + static_cast<unsigned>(GetParam()));
+    const Workload w = forge::scenarioWorkload(spec);
+    ASSERT_EQ(verify(w.program), "");
 
     JrpmConfig cfg;
     cfg.sys.memBytes = 8u << 20;  // keep the image copies small

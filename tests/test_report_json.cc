@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Round-trip coverage for the JSON report export: serialize a fully
+ * populated JrpmReport, parse it back with the in-tree parser, and
+ * assert field equality — so CI scripts consuming --report-out files
+ * can rely on the schema, and the parser rejects malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report_json.hh"
+
+namespace jrpm
+{
+namespace
+{
+
+JrpmReport
+populatedReport()
+{
+    JrpmReport rep;
+    rep.name = "quoted \"name\"\twith\nescapes";
+    rep.fingerprint = 0x0123456789abcdefull;
+    rep.warmStart = true;
+    rep.demoted = false;
+
+    rep.seqMain.halted = true;
+    rep.seqMain.uncaught = false;
+    rep.seqMain.exitValue = 0xdead0001u;
+    rep.seqMain.cycles = 123456789;
+    rep.seqMain.insts = 987654321;
+    rep.seqMain.stats.violations = 0;
+
+    rep.tls.halted = true;
+    rep.tls.exitValue = 0xdead0001u;
+    rep.tls.cycles = 23456789;
+    rep.tls.insts = 987654321;
+    rep.tls.stats.violations = 17;
+    rep.tls.watchdogFired = false;
+    rep.tls.faultsInjected = 3;
+
+    rep.profilingSlowdown = 1.875;
+    rep.predictedTlsCycles = 0.40625;
+    rep.actualSpeedup = 2.5;
+    rep.totalSpeedup = 1.75;
+    rep.outputsMatch = true;
+    rep.oracle.mode = OracleMode::Strict;
+    rep.oracle.compared = true;
+
+    rep.phases.compile = 1000;
+    rep.phases.profiling = 2000;
+    rep.phases.recompile = 3000;
+    rep.phases.application = 4000;
+    rep.phases.gc = 500;
+
+    SelectedStl s0;
+    s0.loopId = 4;
+    s0.prediction.predictedSpeedup = 3.125;
+    s0.prediction.coverageCycles = 65536.0;
+    s0.prediction.itersPerEntry = 12.5;
+    s0.plan.syncLock = true;
+    SelectedStl s1;
+    s1.loopId = 9;
+    s1.plan.multilevel = true;
+    s1.plan.hoistHandlers = true;
+    rep.selections = {s0, s1};
+    return rep;
+}
+
+TEST(ReportJson, SerializeParseFieldEquality)
+{
+    const JrpmReport rep = populatedReport();
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(reportJson(rep), v, &err)) << err;
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+
+    EXPECT_EQ(v["name"].str, rep.name);
+    EXPECT_EQ(v["fingerprint"].str, "0123456789abcdef");
+    EXPECT_TRUE(v["warmStart"].boolean());
+    EXPECT_FALSE(v["demoted"].boolean());
+
+    const JsonValue &seq = v["seqMain"];
+    EXPECT_TRUE(seq["halted"].boolean());
+    EXPECT_FALSE(seq["uncaught"].boolean());
+    EXPECT_EQ(seq["exitValue"].number(),
+              static_cast<double>(rep.seqMain.exitValue));
+    EXPECT_EQ(seq["cycles"].number(), 123456789.0);
+    EXPECT_EQ(seq["insts"].number(), 987654321.0);
+
+    const JsonValue &tls = v["tls"];
+    EXPECT_EQ(tls["violations"].number(), 17.0);
+    EXPECT_EQ(tls["faultsInjected"].number(), 3.0);
+    EXPECT_FALSE(tls["watchdog"].boolean());
+
+    // %.17g round-trips doubles exactly through strtod.
+    EXPECT_EQ(v["profilingSlowdown"].number(), rep.profilingSlowdown);
+    EXPECT_EQ(v["predictedTlsCycles"].number(),
+              rep.predictedTlsCycles);
+    EXPECT_EQ(v["actualSpeedup"].number(), rep.actualSpeedup);
+    EXPECT_EQ(v["totalSpeedup"].number(), rep.totalSpeedup);
+    EXPECT_TRUE(v["outputsMatch"].boolean());
+    EXPECT_TRUE(v["oracle"]["compared"].boolean());
+    EXPECT_TRUE(v["oracle"]["match"].boolean());
+
+    const JsonValue &ph = v["phases"];
+    EXPECT_EQ(ph["compile"].number(), 1000.0);
+    EXPECT_EQ(ph["profiling"].number(), 2000.0);
+    EXPECT_EQ(ph["recompile"].number(), 3000.0);
+    EXPECT_EQ(ph["application"].number(), 4000.0);
+    EXPECT_EQ(ph["gc"].number(), 500.0);
+    EXPECT_EQ(ph["total"].number(),
+              static_cast<double>(rep.phases.total()));
+
+    const JsonValue &sels = v["selections"];
+    ASSERT_EQ(sels.kind, JsonValue::Kind::Array);
+    ASSERT_EQ(sels.items.size(), 2u);
+    EXPECT_EQ(sels.at(0)["loopId"].number(), 4.0);
+    EXPECT_EQ(sels.at(0)["predictedSpeedup"].number(), 3.125);
+    EXPECT_EQ(sels.at(0)["coverageCycles"].number(), 65536.0);
+    EXPECT_EQ(sels.at(0)["itersPerEntry"].number(), 12.5);
+    EXPECT_TRUE(sels.at(0)["plan"]["syncLock"].boolean());
+    EXPECT_FALSE(sels.at(0)["plan"]["multilevel"].boolean());
+    EXPECT_EQ(sels.at(1)["loopId"].number(), 9.0);
+    EXPECT_TRUE(sels.at(1)["plan"]["multilevel"].boolean());
+    EXPECT_TRUE(sels.at(1)["plan"]["hoistHandlers"].boolean());
+
+    // Out-of-range and missing-key lookups yield the shared Null.
+    EXPECT_TRUE(sels.at(2).isNull());
+    EXPECT_TRUE(v["no-such-key"].isNull());
+}
+
+TEST(ReportJson, ArrayOfReportsParses)
+{
+    const std::vector<JrpmReport> reps = {populatedReport(),
+                                          populatedReport()};
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(reportsJson(reps), v, &err)) << err;
+    ASSERT_EQ(v.kind, JsonValue::Kind::Array);
+    ASSERT_EQ(v.items.size(), 2u);
+    EXPECT_EQ(v.at(0)["name"].str, v.at(1)["name"].str);
+}
+
+TEST(ReportJson, ParserRejectsMalformedInput)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(jsonParse("", v, &err));
+    EXPECT_FALSE(jsonParse("{", v, &err));
+    EXPECT_FALSE(jsonParse("{\"a\":1,}", v, &err));
+    EXPECT_FALSE(jsonParse("[1,2", v, &err));
+    EXPECT_FALSE(jsonParse("\"unterminated", v, &err));
+    EXPECT_FALSE(jsonParse("truex", v, &err));
+    EXPECT_FALSE(jsonParse("{\"a\":1} garbage", v, &err));
+    EXPECT_FALSE(jsonParse("{\"a\" 1}", v, &err));
+}
+
+TEST(ReportJson, PrimitivesAndEscapes)
+{
+    JsonValue v;
+    ASSERT_TRUE(jsonParse("  null ", v));
+    EXPECT_TRUE(v.isNull());
+    ASSERT_TRUE(jsonParse("-12.5e2", v));
+    EXPECT_EQ(v.number(), -1250.0);
+    ASSERT_TRUE(jsonParse("\"a\\\"b\\\\c\\n\\t\\u0007\"", v));
+    EXPECT_EQ(v.str, std::string("a\"b\\c\n\t\a"));
+    ASSERT_TRUE(jsonParse("[]", v));
+    EXPECT_EQ(v.items.size(), 0u);
+    ASSERT_TRUE(jsonParse("{}", v));
+    EXPECT_EQ(v.fields.size(), 0u);
+}
+
+} // namespace
+} // namespace jrpm
