@@ -33,6 +33,7 @@
 
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "forge/campaign.hh"
 #include "forge/corpus.hh"
 #include "forge/forge.hh"
@@ -239,7 +240,20 @@ campaignMain(int argc, char **argv)
                 cc.jobs);
     const forge::CampaignResult res = forge::runCampaign(cc);
     std::printf("%s", res.summary().c_str());
+    if (!opt.analyticsOut.empty() &&
+        forge::writeCampaignAnalytics(opt.analyticsOut, cc, res))
+        std::printf("analytics: %s\n", opt.analyticsOut.c_str());
     logReportSuppressed();
+    // The per-case pipelines each rewrote --metrics-out before the
+    // suppression counts above were published; dump once more so the
+    // final file carries the whole campaign, log.suppressed.*
+    // included.
+    if (!opt.metricsOut.empty()) {
+        const std::string &p = opt.metricsOut;
+        const bool json = p.size() >= 5 &&
+                          p.compare(p.size() - 5, 5, ".json") == 0;
+        MetricsRegistry::global().writeFile(p, json);
+    }
     return res.clean() ? 0 : 1;
 }
 

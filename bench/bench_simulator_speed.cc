@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/hostprof.hh"
 #include "common/trace.hh"
 #include "workloads/workloads.hh"
 
@@ -104,6 +105,64 @@ BM_SpeculativeSimulationTraced(benchmark::State &state)
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SpeculativeSimulationTraced)
+    ->Unit(benchmark::kMillisecond);
+
+/** Scoped host-profiler enable for the *HostProf variants: measures
+ *  the rdtsc-scoped-timer hot path with a clean slot table.  These
+ *  variants quantify the *enabled* overhead for DESIGN.md's budget;
+ *  the CI gate compares the plain variants (profiler compiled in but
+ *  disabled) against the committed trajectory. */
+struct HostProfGuard
+{
+    HostProfGuard()
+    {
+        hostprof::reset();
+        hostprof::setEnabled(true);
+    }
+    ~HostProfGuard()
+    {
+        hostprof::setEnabled(false);
+        hostprof::reset();
+    }
+};
+
+void
+BM_SequentialSimulationHostProf(benchmark::State &state)
+{
+    HostProfGuard guard;
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmSystem sys(w);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunOutcome out = sys.runSequential({300}, false, nullptr);
+        cycles += out.cycles;
+        benchmark::DoNotOptimize(out.exitValue);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialSimulationHostProf)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SpeculativeSimulationHostProf(benchmark::State &state)
+{
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmSystem sys(w);
+    auto sels = sys.selectOnly();
+    HostProfGuard guard; // enable only for the measured TLS runs
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunOutcome out = sys.runTls({300}, sels);
+        cycles += out.cycles;
+        benchmark::DoNotOptimize(out.exitValue);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpeculativeSimulationHostProf)
     ->Unit(benchmark::kMillisecond);
 
 void

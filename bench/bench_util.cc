@@ -91,6 +91,10 @@ parseArgs(int argc, char **argv)
             opt.emitStarter = argv[i] + 15;
         } else if (!std::strcmp(argv[i], "--shrink-demo")) {
             opt.shrinkDemo = true;
+        } else if (!std::strcmp(argv[i], "--hostprof")) {
+            opt.hostprof = true;
+        } else if (!std::strncmp(argv[i], "--analytics-out=", 16)) {
+            opt.analyticsOut = argv[i] + 16;
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [--quick] [--only=<benchmark>] "
                         "[--list] [--jobs=<n>] [--repo=<dir>] "
@@ -102,7 +106,8 @@ parseArgs(int argc, char **argv)
                         "[--fault-plan=<spec>] [--cases=<n>] "
                         "[--seed=<n>] [--axes=<list|all>] "
                         "[--corpus-out=<dir>] [--replay=<dir>] "
-                        "[--emit-starter=<dir>] [--shrink-demo]\n",
+                        "[--emit-starter=<dir>] [--shrink-demo] "
+                        "[--hostprof] [--analytics-out=<path>]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -154,6 +159,7 @@ benchConfig(const Options &opt)
     cfg.obs.metricsOut = opt.metricsOut;
     cfg.obs.traceEnabled =
         !opt.traceOut.empty() || !opt.metricsOut.empty();
+    cfg.obs.hostprofEnabled = opt.hostprof;
     if (!opt.oracle.empty()) {
         if (opt.oracle == "off")
             cfg.oracle.mode = OracleMode::Off;

@@ -15,6 +15,8 @@
  *   --fault-plan=<spec>  inject faults (see FaultPlan::parse)
  *   --cases=<n>          campaign size (bench_robustness)
  *   --seed=<n>           campaign seed (bench_robustness)
+ *   --hostprof           enable the host-cycle self-profiler
+ *   --analytics-out=<path>  campaign analytics JSON (forge campaign)
  */
 
 #ifndef JRPM_BENCH_BENCH_UTIL_HH
@@ -54,6 +56,9 @@ struct Options
     std::string replayDir;   ///< --replay=<dir>
     std::string emitStarter; ///< --emit-starter=<dir>
     bool shrinkDemo = false; ///< --shrink-demo
+    // Observatory flags.
+    bool hostprof = false;       ///< --hostprof
+    std::string analyticsOut;    ///< --analytics-out=<path>
 };
 
 /** Parses flags; handles --help and --list (both print and exit).

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.hh"
+
 namespace jrpm
 {
 
@@ -15,6 +17,18 @@ namespace
 {
 
 std::atomic<bool> quietFlag{false};
+
+/** Failure-path flush hook (see logSetAbortHook). */
+std::atomic<void (*)()> abortHook{nullptr};
+
+/** Run the abort hook at most once, tolerating a hook that panics. */
+void
+runAbortHook()
+{
+    void (*hook)() = abortHook.exchange(nullptr);
+    if (hook)
+        hook();
+}
 
 /** Guards the throttle map (concurrent pipelines share it). */
 std::mutex throttleMu;
@@ -47,6 +61,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("panic", fmt, ap);
     va_end(ap);
+    runAbortHook();
     std::abort();
 }
 
@@ -57,6 +72,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("fatal", fmt, ap);
     va_end(ap);
+    runAbortHook();
     std::exit(1);
 }
 
@@ -85,13 +101,16 @@ inform(const char *fmt, ...)
 void
 warnThrottled(const std::string &key, const char *fmt, ...)
 {
-    if (quietFlag)
-        return;
     std::uint64_t count;
     {
         std::lock_guard<std::mutex> lock(throttleMu);
         count = ++throttleCounts[key];
     }
+    // Count before the quiet gate: a silenced benchmark run still
+    // accounts for every throttled warning in the metrics report.
+    MetricsRegistry::global().counter("log.throttled." + key).inc();
+    if (quietFlag)
+        return;
     if (count <= kThrottleVerbatim) {
         va_list ap;
         va_start(ap, fmt);
@@ -116,6 +135,10 @@ logReportSuppressed()
 {
     std::lock_guard<std::mutex> lock(throttleMu);
     for (const auto &[key, count] : throttleCounts) {
+        if (count > kThrottleVerbatim)
+            MetricsRegistry::global()
+                .counter("log.suppressed." + key)
+                .inc(count - kThrottleVerbatim);
         if (count > kThrottleVerbatim && !quietFlag)
             std::fprintf(stderr,
                          "info: [%s] %llu similar warnings in total "
@@ -132,6 +155,12 @@ void
 setQuiet(bool quiet)
 {
     quietFlag = quiet;
+}
+
+void
+logSetAbortHook(void (*hook)())
+{
+    abortHook.store(hook);
 }
 
 std::string

@@ -40,9 +40,21 @@ void warnThrottled(const std::string &key, const char *fmt, ...)
 
 /**
  * Report the total suppressed count per throttle key and reset the
- * throttle state (call at end of run).
+ * throttle state (call at end of run).  Totals are also published as
+ * `log.suppressed.<key>` counters in the global MetricsRegistry
+ * (occurrence counts are published live as `log.throttled.<key>`), so
+ * quiet runs still account for what was dropped.
  */
 void logReportSuppressed();
+
+/**
+ * Install a hook invoked once at the top of panic()/fatal(), before
+ * the process dies.  Used to flush partial telemetry (trace/metrics)
+ * on failure paths where atexit handlers never run (panic aborts).
+ * Pass nullptr to clear.  The hook must be async-abort-safe in spirit:
+ * no throwing, no re-entering panic.
+ */
+void logSetAbortHook(void (*hook)());
 
 /** Print an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

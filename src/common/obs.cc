@@ -1,0 +1,77 @@
+#include "common/obs.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
+
+namespace jrpm
+{
+namespace obs
+{
+
+namespace
+{
+
+std::mutex armMu;
+std::string armedTraceOut;
+std::string armedMetricsOut;
+std::atomic<bool> armed{false};
+bool handlersRegistered = false;
+
+void
+atexitFlush()
+{
+    failsafeFlush();
+}
+
+} // namespace
+
+void
+setFailsafeOutputs(const std::string &trace_out,
+                   const std::string &metrics_out)
+{
+    std::lock_guard<std::mutex> lock(armMu);
+    armedTraceOut = trace_out;
+    armedMetricsOut = metrics_out;
+    armed.store(!trace_out.empty() || !metrics_out.empty());
+    if (!handlersRegistered) {
+        handlersRegistered = true;
+        std::atexit(atexitFlush);
+        logSetAbortHook(&atexitFlush);
+    }
+}
+
+void
+failsafeFlush()
+{
+    if (!armed.exchange(false))
+        return;
+    std::string trace_out, metrics_out;
+    {
+        std::lock_guard<std::mutex> lock(armMu);
+        trace_out = armedTraceOut;
+        metrics_out = armedMetricsOut;
+    }
+    if (!trace_out.empty())
+        Trace::global().writeChromeJson(trace_out);
+    if (!metrics_out.empty()) {
+        const bool json =
+            metrics_out.size() >= 5 &&
+            metrics_out.compare(metrics_out.size() - 5, 5, ".json")
+                == 0;
+        MetricsRegistry::global().writeFile(metrics_out, json);
+    }
+}
+
+void
+disarmFailsafe()
+{
+    armed.store(false);
+}
+
+} // namespace obs
+} // namespace jrpm

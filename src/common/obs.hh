@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Observability failsafe: make sure --trace-out= / --metrics-out=
+ * still emit (partial) output when a run dies early.
+ *
+ * A normal run exports its trace and metrics at the very end of
+ * JrpmSystem::run().  A run that panics (oracle divergence detected
+ * via panic, internal invariant), calls fatal(), or exits through an
+ * uncaught path would previously lose exactly the telemetry that
+ * explains the failure.  setFailsafeOutputs() arms an atexit handler
+ * (covers fatal()/exit paths) and the logging abort hook (covers
+ * panic(), which aborts and skips atexit); failsafeFlush() is
+ * idempotent, and disarmFailsafe() is called after the normal export
+ * so a clean run writes each file exactly once.
+ */
+
+#ifndef JRPM_COMMON_OBS_HH
+#define JRPM_COMMON_OBS_HH
+
+#include <string>
+
+namespace jrpm
+{
+namespace obs
+{
+
+/**
+ * Arm the failure-path flush for this process.  Empty paths disable
+ * the corresponding output.  Later calls replace the paths (the
+ * handlers are registered once).
+ */
+void setFailsafeOutputs(const std::string &trace_out,
+                        const std::string &metrics_out);
+
+/**
+ * Write the armed outputs now (trace as Chrome JSON, metrics as
+ * JSON) and disarm.  Safe to call multiple times; only the first
+ * call after arming writes.  Called automatically at exit/abort.
+ */
+void failsafeFlush();
+
+/** Disarm without writing (the normal end-of-run export ran). */
+void disarmFailsafe();
+
+} // namespace obs
+} // namespace jrpm
+
+#endif // JRPM_COMMON_OBS_HH

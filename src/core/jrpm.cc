@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/hostprof.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/obs.hh"
 #include "common/trace.hh"
 
 namespace jrpm
@@ -34,6 +36,7 @@ JrpmSystem::runOn(Machine &m, const std::vector<Word> &args)
     m.setRuntime(&vm);
     m.start(load.program.entryMethod, args, cfg.vm.stackTop);
     vm.prepare();
+    m.setAddrRegions(VmRuntime::addrRegions(vmCfg));
     const bool halted = m.run(cfg.maxCycles);
     if (!halted)
         warn("%s: run did not complete within %llu cycles",
@@ -77,9 +80,12 @@ JrpmSystem::runSequential(const std::vector<Word> &args,
         Trace::global().beginPhase(annotated ? "profile"
                                              : "sequential");
     Machine m(cfg.sys);
-    theJit.compileAll(m.codeSpace(), annotated
-                                         ? CompileMode::Profiling
-                                         : CompileMode::Plain);
+    {
+        JRPM_HPROF(JitCompile);
+        theJit.compileAll(m.codeSpace(), annotated
+                                             ? CompileMode::Profiling
+                                             : CompileMode::Plain);
+    }
     if (prof)
         m.setProfiler(prof);
     return runOn(m, args);
@@ -102,7 +108,10 @@ JrpmSystem::runTls(const std::vector<Word> &args,
     reqs.reserve(selections.size());
     for (const auto &sel : selections)
         reqs.push_back({sel.loopId, sel.plan});
-    theJit.compileAll(m.codeSpace(), CompileMode::Tls, reqs);
+    {
+        JRPM_HPROF(JitCompile);
+        theJit.compileAll(m.codeSpace(), CompileMode::Tls, reqs);
+    }
     RunOutcome out = runOn(m, args);
     out.faultsInjected = inj.firedTotal();
     return out;
@@ -216,6 +225,36 @@ JrpmSystem::fingerprint() const
 
 JrpmReport
 JrpmSystem::run()
+{
+    hostprof::setEnabled(cfg.obs.hostprofEnabled);
+    // Arm the failure-path flush: a panic/abort mid-pipeline still
+    // emits whatever trace/metrics have accumulated so far.
+    obs::setFailsafeOutputs(cfg.obs.traceOut, cfg.obs.metricsOut);
+
+    JrpmReport rep;
+    {
+        JRPM_HPROF(Pipeline);
+        rep = runPipeline();
+    }
+    if (hostprof::enabled()) {
+        hostprof::flushThread();
+        hostprof::publish(MetricsRegistry::global());
+    }
+    if (!cfg.obs.traceOut.empty())
+        Trace::global().writeChromeJson(cfg.obs.traceOut);
+    if (!cfg.obs.metricsOut.empty()) {
+        const std::string &path = cfg.obs.metricsOut;
+        const bool json = path.size() >= 5 &&
+                          path.compare(path.size() - 5, 5, ".json")
+                              == 0;
+        MetricsRegistry::global().writeFile(path, json);
+    }
+    obs::disarmFailsafe();
+    return rep;
+}
+
+JrpmReport
+JrpmSystem::runPipeline()
 {
     if (cfg.obs.traceEnabled) {
         auto &tr = Trace::global();
@@ -377,6 +416,7 @@ JrpmSystem::run()
             d.memImage = o.memImage;
             return d;
         };
+        JRPM_HPROF(OracleCheck);
         rep.oracle = Oracle::compare(
             cfg.oracle, digest(rep.seqMain), digest(rep.tls),
             VmRuntime::scratchRegions(cfg.vm, cfg.sys.numCpus));
@@ -438,6 +478,7 @@ JrpmSystem::run()
     // Observability exports.
     auto &reg = MetricsRegistry::global();
     {
+        JRPM_HPROF(MetricsPublish);
         std::string p = "jrpm." + rep.name;
         for (char &c : p)
             if (!std::isalnum(static_cast<unsigned char>(c)) &&
@@ -456,15 +497,6 @@ JrpmSystem::run()
                 .inc(rep.tls.faultsInjected);
         if (rep.warmStart)
             reg.counter(p + ".warm_starts").inc();
-    }
-    if (!cfg.obs.traceOut.empty())
-        Trace::global().writeChromeJson(cfg.obs.traceOut);
-    if (!cfg.obs.metricsOut.empty()) {
-        const std::string &path = cfg.obs.metricsOut;
-        const bool json = path.size() >= 5 &&
-                          path.compare(path.size() - 5, 5, ".json")
-                              == 0;
-        reg.writeFile(path, json);
     }
     return rep;
 }

@@ -67,6 +67,9 @@ struct ObsConfig
     /** Write the metrics registry here after run() (".json" selects
      *  JSON, anything else text). */
     std::string metricsOut;
+    /** Enable the host-cycle self-profiler for this run (published
+     *  as hostprof.* metrics; ~zero cost when off). */
+    bool hostprofEnabled = false;
 };
 
 /** Crystal repository wiring: warm-start policy for this instance. */
@@ -214,6 +217,10 @@ class JrpmSystem
     Jit theJit;
 
     RunOutcome runOn(Machine &m, const std::vector<Word> &args);
+
+    /** The Fig. 1 pipeline body; run() wraps it with the host-side
+     *  profiler's Pipeline slot and the observability exports. */
+    JrpmReport runPipeline();
 
     /**
      * Enforce the one-active-STL-at-a-time constraint across the

@@ -41,15 +41,105 @@ b2s(bool v)
 }
 
 std::string
+spanHistJson(const SpanHist &h)
+{
+    std::string j = strfmt("{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                           ",\"max\":%" PRIu64 ",\"mean\":%.17g,"
+                           "\"log2Buckets\":[",
+                           h.count, h.sum, h.max, h.mean());
+    // Trim trailing zero buckets; the reader treats absent as zero.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < SpanHist::kBuckets; ++i)
+        if (h.log2Buckets[i])
+            last = i + 1;
+    for (std::size_t i = 0; i < last; ++i)
+        j += strfmt(i ? ",%" PRIu64 : "%" PRIu64, h.log2Buckets[i]);
+    j += "]}";
+    return j;
+}
+
+template <std::size_t N>
+std::string
+causeMapJson(const std::array<std::uint64_t, N> &counts,
+             const char *(*name)(std::size_t))
+{
+    std::string j = "{";
+    bool first = true;
+    for (std::size_t i = 0; i < N; ++i) {
+        if (!counts[i])
+            continue;
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt("\"%s\":%" PRIu64, name(i), counts[i]);
+    }
+    j += "}";
+    return j;
+}
+
+std::string
+telemetryJson(const ExecStats &st)
+{
+    std::string j = strfmt(
+        "{\"specWindows\":%" PRIu64 ",\"specWindowInsts\":%" PRIu64
+        ",\"specSlowSteps\":%" PRIu64 ",\"forwardedLoads\":%" PRIu64
+        ",\"commits\":%" PRIu64 ",\"stlEntries\":%" PRIu64
+        ",\"overflowStalls\":%" PRIu64 ",",
+        st.burstSpans.count, st.burstSpans.sum, st.specSlowSteps,
+        st.forwardedLoads, st.commits, st.stlEntries,
+        st.bufferOverflowStalls);
+    j += strfmt("\"squashCauses\":%s,",
+                causeMapJson(st.squashCauses, squashCauseName)
+                    .c_str());
+    j += strfmt("\"violationsByClass\":%s,",
+                causeMapJson(st.violationsByClass, addrClassName)
+                    .c_str());
+    j += strfmt("\"burstSpans\":%s,",
+                spanHistJson(st.burstSpans).c_str());
+    j += strfmt("\"forwardDistance\":%s,",
+                spanHistJson(st.forwardDistance).c_str());
+    j += strfmt("\"storeBufOccupancy\":%s}",
+                spanHistJson(st.storeBufOccupancy).c_str());
+    return j;
+}
+
+std::string
 runJson(const RunOutcome &o)
 {
     return strfmt("{\"halted\":%s,\"uncaught\":%s,\"exitValue\":%u,"
                   "\"cycles\":%" PRIu64 ",\"insts\":%" PRIu64
                   ",\"violations\":%" PRIu64 ",\"watchdog\":%s,"
-                  "\"faultsInjected\":%u}",
+                  "\"faultsInjected\":%u,\"telemetry\":%s}",
                   b2s(o.halted), b2s(o.uncaught), o.exitValue,
                   o.cycles, o.insts, o.stats.violations,
-                  b2s(o.watchdogFired), o.faultsInjected);
+                  b2s(o.watchdogFired), o.faultsInjected,
+                  telemetryJson(o.stats).c_str());
+}
+
+std::string
+loopJson(std::int32_t loop_id, const StlRuntimeStats &ls)
+{
+    std::string j = strfmt(
+        "{\"loopId\":%d,\"entries\":%" PRIu64 ",\"commits\":%" PRIu64
+        ",\"violations\":%" PRIu64 ",\"cyclesInside\":%" PRIu64
+        ",\"overflowStalls\":%" PRIu64 ",\"soloEntries\":%" PRIu64
+        ",\"slowSteps\":%" PRIu64 ",\"forwardedLoads\":%" PRIu64 ",",
+        loop_id, ls.entries, ls.commits, ls.violations,
+        ls.cyclesInside, ls.overflowStalls, ls.soloEntries,
+        ls.slowSteps, ls.forwardedLoads);
+    j += strfmt("\"squashCauses\":%s,",
+                causeMapJson(ls.squashCauses, squashCauseName)
+                    .c_str());
+    j += strfmt("\"violationsByClass\":%s,",
+                causeMapJson(ls.violationsByClass, addrClassName)
+                    .c_str());
+    j += strfmt("\"burstSpans\":%s,",
+                spanHistJson(ls.burstSpans).c_str());
+    j += strfmt("\"forwardDistance\":%s,",
+                spanHistJson(ls.forwardDistance).c_str());
+    j += strfmt("\"storeBufOccupancy\":%s}",
+                spanHistJson(ls.storeBufOccupancy).c_str());
+    return j;
 }
 
 /** Recursive-descent parser over the grammar reportJson() emits. */
@@ -307,6 +397,17 @@ reportJson(const JrpmReport &rep)
                     sel.prediction.itersPerEntry,
                     b2s(sel.plan.syncLock), b2s(sel.plan.multilevel),
                     b2s(sel.plan.hoistHandlers));
+    }
+    j += "],";
+
+    // Per-loop dependence telemetry of the TLS run.
+    j += "\"loops\":[";
+    first = true;
+    for (const auto &[loop_id, ls] : rep.tls.stl) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += loopJson(loop_id, ls);
     }
     j += "]}";
     return j;

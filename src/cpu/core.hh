@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/hostprof.hh"
 #include "common/trace.hh"
 #include "cpu/code_space.hh"
 #include "cpu/config.hh"
@@ -104,6 +105,7 @@ struct Core
     void
     clearSpecState()
     {
+        JRPM_HPROF(SpecStateClear);
         buffer.clear();
         tags.clear();
         overflowed = false;

@@ -8,6 +8,8 @@
 #define JRPM_CPU_STATS_HH
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -18,6 +20,106 @@
 
 namespace jrpm
 {
+
+/**
+ * Why a speculative thread (attempt) was discarded.  One event is
+ * counted per squash *event*, not per squashed core: a RAW violation
+ * that kills three more-speculative threads counts once.
+ */
+enum class SquashCause : std::uint8_t
+{
+    RawViolation,  ///< true RAW dependence detected at a store
+    SpuriousFault, ///< injected spurious violation (fault campaign)
+    StlSwitch,     ///< STL switch discarded in-flight speculation
+    Watchdog,      ///< forward-progress watchdog fired
+    Governor,      ///< speedup governor degraded the loop to solo
+};
+
+inline constexpr std::size_t kNumSquashCauses = 5;
+
+inline const char *
+squashCauseName(std::size_t cause)
+{
+    static const char *const names[kNumSquashCauses] = {
+        "raw_violation", "spurious_fault", "stl_switch", "watchdog",
+        "governor",
+    };
+    return cause < kNumSquashCauses ? names[cause] : "?";
+}
+
+/**
+ * Coarse variable-class bucket for a violated address, derived from
+ * the VM memory layout.  Maps onto the analyzer's vocabulary: Stack
+ * holds locals/privates/carried spills, Heap is the analyzer's Memory
+ * class, Static covers invariants/static fields, Scratch is VM-internal
+ * state (lock table, per-CPU scratch).
+ */
+enum class AddrClass : std::uint8_t
+{
+    Unknown,
+    Stack,
+    Heap,
+    Static,
+    Scratch,
+};
+
+inline constexpr std::size_t kNumAddrClasses = 5;
+
+inline const char *
+addrClassName(std::size_t cls)
+{
+    static const char *const names[kNumAddrClasses] = {
+        "unknown", "stack", "heap", "static", "scratch",
+    };
+    return cls < kNumAddrClasses ? names[cls] : "?";
+}
+
+/**
+ * Cheap always-on histogram for hot-path telemetry: count/sum/max plus
+ * log2 buckets.  A sample is a handful of integer ops (no floating
+ * point, no allocation), so it can run per speculative window without
+ * perturbing simulation speed; SampleStat stays the tool for the
+ * colder Table 3 statistics.
+ */
+struct SpanHist
+{
+    static constexpr std::size_t kBuckets = 32;
+
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> log2Buckets{};
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++count;
+        sum += v;
+        if (v > max)
+            max = v;
+        const unsigned b =
+            v == 0 ? 0u
+                   : static_cast<unsigned>(64 - __builtin_clzll(v));
+        ++log2Buckets[b < kBuckets ? b : kBuckets - 1];
+    }
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) / count : 0.0;
+    }
+
+    void
+    merge(const SpanHist &o)
+    {
+        count += o.count;
+        sum += o.sum;
+        if (o.max > max)
+            max = o.max;
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            log2Buckets[i] += o.log2Buckets[i];
+    }
+};
 
 /**
  * Breakdown of execution into the six Fig. 10 states.  Units are
@@ -49,6 +151,22 @@ struct ExecStats
     std::uint64_t governorAborts = 0; ///< STLs degraded to solo mode
     /** Violations whose detection was suppressed (fault injection). */
     std::uint64_t violationsSuppressed = 0;
+
+    // --- dependence telemetry (observatory) ---
+    /** Event-free burst lengths per speculative window (instructions). */
+    SpanHist burstSpans;
+    /** Windows that fell back to the cycle-exact step() path. */
+    std::uint64_t specSlowSteps = 0;
+    /** Speculative loads satisfied from a less-speculative buffer. */
+    std::uint64_t forwardedLoads = 0;
+    /** Iteration distance the forwarded value travelled. */
+    SpanHist forwardDistance;
+    /** Store-buffer line occupancy sampled at each speculative store. */
+    SpanHist storeBufOccupancy;
+    /** Squash events by cause (index = SquashCause). */
+    std::array<std::uint64_t, kNumSquashCauses> squashCauses{};
+    /** RAW-violated addresses by variable class (index = AddrClass). */
+    std::array<std::uint64_t, kNumAddrClasses> violationsByClass{};
 
     static constexpr std::size_t kMaxViolationAddrs = 128;
 
@@ -112,6 +230,25 @@ struct StlRuntimeStats
     std::uint64_t overflowStalls = 0; ///< buffer-overflow stalls here
     std::uint64_t soloEntries = 0;    ///< entries run head-only
     std::uint64_t governorAborts = 0; ///< governor trips on this loop
+
+    // --- dependence telemetry (observatory), scoped to this loop ---
+    SpanHist burstSpans;           ///< event-free burst lengths
+    std::uint64_t slowSteps = 0;   ///< cycle-exact fallback windows
+    std::uint64_t forwardedLoads = 0;
+    SpanHist forwardDistance;      ///< iteration distance of forwards
+    SpanHist storeBufOccupancy;    ///< lines buffered at each store
+    std::array<std::uint64_t, kNumSquashCauses> squashCauses{};
+    std::array<std::uint64_t, kNumAddrClasses> violationsByClass{};
+
+    /** Total squash events on this loop, all causes. */
+    std::uint64_t
+    totalSquashes() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t c : squashCauses)
+            t += c;
+        return t;
+    }
 };
 
 /** Per-loop-id runtime stats for a whole program run. */

@@ -1,5 +1,6 @@
 #include "driver.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -10,6 +11,31 @@
 
 namespace jrpm
 {
+
+PercentileSummary
+summarizePercentiles(std::vector<double> samples)
+{
+    PercentileSummary s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    s.n = samples.size();
+    s.min = samples.front();
+    s.max = samples.back();
+    double sum = 0;
+    for (double v : samples)
+        sum += v;
+    s.mean = sum / static_cast<double>(s.n);
+    auto rank = [&](double q) {
+        const auto i = static_cast<std::size_t>(
+            q * static_cast<double>(s.n - 1) + 0.5);
+        return samples[std::min<std::size_t>(i, s.n - 1)];
+    };
+    s.p50 = rank(0.50);
+    s.p90 = rank(0.90);
+    s.p99 = rank(0.99);
+    return s;
+}
 
 BatchDriver::BatchDriver(DriverConfig config) : cfg(std::move(config))
 {

@@ -68,6 +68,20 @@ struct DriverResult
     double wallMs = 0.0;      ///< host wall-clock for this job
 };
 
+/**
+ * Order statistics over one batch metric, for campaign analytics and
+ * batch summaries.  Percentiles use the nearest-rank method over the
+ * sorted samples; an empty sample set yields all zeros.
+ */
+struct PercentileSummary
+{
+    std::uint64_t n = 0;
+    double min = 0, p50 = 0, p90 = 0, p99 = 0, max = 0, mean = 0;
+};
+
+/** Summarize @p samples (consumed: sorted in place). */
+PercentileSummary summarizePercentiles(std::vector<double> samples);
+
 /** The batch driver (see file header). */
 class BatchDriver
 {

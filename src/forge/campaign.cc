@@ -1,7 +1,11 @@
 #include "campaign.hh"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstdio>
+#include <functional>
 
+#include "common/hostprof.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "core/oracle.hh"
@@ -52,6 +56,26 @@ runCaseImpl(const ScenarioSpec &spec, const JrpmConfig &base,
     if (cr.pipelineDiverged)
         cr.detail = rep.oracle.compared ? rep.oracle.summary()
                                         : "outputs differ";
+
+    // Telemetry capsule: what the TLS run did, for campaign-level
+    // aggregation (percentiles, squash-cause tables, top loops).
+    cr.speedup = rep.actualSpeedup;
+    cr.seqCycles = rep.seqMain.cycles;
+    cr.tlsCycles = rep.tls.cycles;
+    const ExecStats &st = rep.tls.stats;
+    cr.violations = st.violations;
+    cr.commits = st.commits;
+    cr.overflowStalls = st.bufferOverflowStalls;
+    cr.specWindows = st.burstSpans.count;
+    cr.specWindowInsts = st.burstSpans.sum;
+    cr.specSlowSteps = st.specSlowSteps;
+    cr.forwardedLoads = st.forwardedLoads;
+    cr.meanBurst = st.burstSpans.mean();
+    cr.squashCauses = st.squashCauses;
+    cr.violationsByClass = st.violationsByClass;
+    for (const auto &[loop_id, ls] : rep.tls.stl)
+        if (const std::uint64_t sq = ls.totalSquashes())
+            cr.loopSquashes.emplace_back(loop_id, sq);
 
     const bool resultDiffers =
         rep.tls.halted != rep.seqMain.halted ||
@@ -146,6 +170,7 @@ runCampaign(const CampaignConfig &cfg)
 
     for (std::uint32_t i = 0; i < cfg.cases; ++i) {
         CaseResult &cr = res.results[i];
+        cr.wallMs = dres[i].wallMs;
         if (!dres[i].ok) {
             // The pipeline (or sweep) threw: record it as a failed
             // case even though the slot was never filled.
@@ -201,6 +226,235 @@ runCampaign(const CampaignConfig &cfg)
     reg.counter("forge.divergences").inc(res.divergences);
     reg.counter("forge.forced_runs").inc(res.forcedRuns);
     return res;
+}
+
+namespace
+{
+
+std::string
+pctJson(const PercentileSummary &s)
+{
+    return strfmt("{\"n\":%" PRIu64 ",\"min\":%.17g,\"p50\":%.17g,"
+                  "\"p90\":%.17g,\"p99\":%.17g,\"max\":%.17g,"
+                  "\"mean\":%.17g}",
+                  s.n, s.min, s.p50, s.p90, s.p99, s.max, s.mean);
+}
+
+/** Percentiles of @p pick over the completed cases in @p results
+ *  (optionally only those touching axis bit @p axis_bit). */
+std::string
+casePctJson(const std::vector<CaseResult> &results,
+            const std::function<double(const CaseResult &)> &pick,
+            std::uint32_t axis_bit = 0)
+{
+    std::vector<double> xs;
+    xs.reserve(results.size());
+    for (const CaseResult &cr : results)
+        if (cr.ok && (!axis_bit || (cr.axes & axis_bit)))
+            xs.push_back(pick(cr));
+    return pctJson(summarizePercentiles(std::move(xs)));
+}
+
+} // namespace
+
+std::string
+campaignAnalyticsJson(const CampaignConfig &cfg,
+                      const CampaignResult &res)
+{
+    std::string j = "{";
+    j += "\"schema\":\"jrpm-campaign-analytics-v1\",";
+    j += strfmt("\"seed\":\"%016llx\",\"axes\":%u,",
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.axes);
+    j += strfmt("\"cases\":%u,\"failures\":%u,\"pipelineErrors\":%u,"
+                "\"divergences\":%u,\"oracleDetected\":%u,"
+                "\"watchdogs\":%u,\"forcedRuns\":%" PRIu64 ",",
+                res.cases, res.failures, res.pipelineErrors,
+                res.divergences, res.oracleDetected, res.watchdogs,
+                res.forcedRuns);
+
+    // Per-metric percentiles over every completed case.
+    struct Metric
+    {
+        const char *name;
+        double (*pick)(const CaseResult &);
+    };
+    static const Metric kMetrics[] = {
+        {"speedup", [](const CaseResult &c) { return c.speedup; }},
+        {"seqCycles",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.seqCycles);
+         }},
+        {"tlsCycles",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.tlsCycles);
+         }},
+        {"violations",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.violations);
+         }},
+        {"commits",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.commits);
+         }},
+        {"overflowStalls",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.overflowStalls);
+         }},
+        {"specWindows",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.specWindows);
+         }},
+        {"specWindowInsts",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.specWindowInsts);
+         }},
+        {"specSlowSteps",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.specSlowSteps);
+         }},
+        {"forwardedLoads",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.forwardedLoads);
+         }},
+        {"meanBurst",
+         [](const CaseResult &c) { return c.meanBurst; }},
+        {"wallMs", [](const CaseResult &c) { return c.wallMs; }},
+    };
+    j += "\"metrics\":{";
+    bool first = true;
+    for (const Metric &m : kMetrics) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt("\"%s\":%s", m.name,
+                    casePctJson(res.results, m.pick).c_str());
+    }
+    j += "},";
+
+    // Per-axis breakdown: how scenarios touching each stress axis
+    // behave (axis sets overlap; a scenario counts on every axis it
+    // exercises).
+    j += "\"perAxis\":{";
+    first = true;
+    for (std::uint32_t a = 0; a < kNumAxes; ++a) {
+        const std::uint32_t bit = 1u << a;
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt(
+            "\"%s\":{\"cases\":%u,\"speedup\":%s,\"violations\":%s,"
+            "\"specSlowSteps\":%s}",
+            axisName(static_cast<StressAxis>(bit)),
+            res.axisScenarios[a],
+            casePctJson(
+                res.results,
+                [](const CaseResult &c) { return c.speedup; }, bit)
+                .c_str(),
+            casePctJson(
+                res.results,
+                [](const CaseResult &c) {
+                    return static_cast<double>(c.violations);
+                },
+                bit)
+                .c_str(),
+            casePctJson(
+                res.results,
+                [](const CaseResult &c) {
+                    return static_cast<double>(c.specSlowSteps);
+                },
+                bit)
+                .c_str());
+    }
+    j += "},";
+
+    // Aggregate squash-cause and variable-class tallies.
+    std::array<std::uint64_t, kNumSquashCauses> causes{};
+    std::array<std::uint64_t, kNumAddrClasses> classes{};
+    for (const CaseResult &cr : res.results) {
+        for (std::size_t c = 0; c < kNumSquashCauses; ++c)
+            causes[c] += cr.squashCauses[c];
+        for (std::size_t c = 0; c < kNumAddrClasses; ++c)
+            classes[c] += cr.violationsByClass[c];
+    }
+    j += "\"squashCauses\":{";
+    first = true;
+    for (std::size_t c = 0; c < kNumSquashCauses; ++c) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt("\"%s\":%" PRIu64, squashCauseName(c),
+                    causes[c]);
+    }
+    j += "},\"violationsByClass\":{";
+    first = true;
+    for (std::size_t c = 0; c < kNumAddrClasses; ++c) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt("\"%s\":%" PRIu64, addrClassName(c), classes[c]);
+    }
+    j += "},";
+
+    // Top squash-cause loops across the whole campaign: which
+    // (scenario, loop) pairs burned the most speculative work.
+    struct LoopSquash
+    {
+        std::uint64_t seed;
+        std::int32_t loopId;
+        std::uint64_t squashes;
+    };
+    std::vector<LoopSquash> top;
+    for (const CaseResult &cr : res.results)
+        for (const auto &[loop_id, sq] : cr.loopSquashes)
+            top.push_back({cr.seed, loop_id, sq});
+    std::sort(top.begin(), top.end(),
+              [](const LoopSquash &a, const LoopSquash &b) {
+                  if (a.squashes != b.squashes)
+                      return a.squashes > b.squashes;
+                  if (a.seed != b.seed)
+                      return a.seed < b.seed;
+                  return a.loopId < b.loopId;
+              });
+    if (top.size() > 20)
+        top.resize(20);
+    j += "\"topSquashLoops\":[";
+    first = true;
+    for (const LoopSquash &ls : top) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt("{\"seed\":\"%016llx\",\"loopId\":%d,"
+                    "\"squashes\":%" PRIu64 "}",
+                    static_cast<unsigned long long>(ls.seed),
+                    ls.loopId, ls.squashes);
+    }
+    j += "],";
+
+    // Host-cycle attribution of the campaign process (empty array
+    // when the profiler is off or compiled out).
+    if (hostprof::enabled())
+        hostprof::flushThread();
+    j += strfmt("\"hostprof\":%s}", hostprof::reportJson().c_str());
+    return j;
+}
+
+bool
+writeCampaignAnalytics(const std::string &path,
+                       const CampaignConfig &cfg,
+                       const CampaignResult &res)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open analytics output '%s'", path.c_str());
+        return false;
+    }
+    const std::string j = campaignAnalyticsJson(cfg, res);
+    const bool ok =
+        std::fwrite(j.data(), 1, j.size(), f) == j.size() &&
+        std::fwrite("\n", 1, 1, f) == 1;
+    std::fclose(f);
+    return ok;
 }
 
 std::string

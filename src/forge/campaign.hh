@@ -27,8 +27,10 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cpu/stats.hh"
 #include "forge/forge.hh"
 #include "forge/shrink.hh"
 
@@ -69,6 +71,24 @@ struct CaseResult
     bool silent = false;         ///< diverged with oracle clean
     std::uint32_t faultsInjected = 0;
     std::string detail;          ///< first divergence summary
+
+    // --- telemetry capsule (observatory): the pipeline's TLS run ---
+    double speedup = 0;          ///< seq / TLS cycles
+    std::uint64_t seqCycles = 0;
+    std::uint64_t tlsCycles = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t overflowStalls = 0;
+    std::uint64_t specWindows = 0;     ///< speculative burst windows
+    std::uint64_t specWindowInsts = 0; ///< insts retired in bursts
+    std::uint64_t specSlowSteps = 0;   ///< cycle-exact fallbacks
+    std::uint64_t forwardedLoads = 0;
+    double meanBurst = 0;              ///< insts per burst window
+    std::array<std::uint64_t, kNumSquashCauses> squashCauses{};
+    std::array<std::uint64_t, kNumAddrClasses> violationsByClass{};
+    /** (loopId, squash events) for every squashing loop. */
+    std::vector<std::pair<std::int32_t, std::uint64_t>> loopSquashes;
+    double wallMs = 0;                 ///< host wall-clock, whole case
 
     /** Does this case fail the campaign?  With faults composed in,
      *  detected divergences are expected and only silent ones fail;
@@ -112,6 +132,22 @@ CaseResult runCase(const ScenarioSpec &spec, const JrpmConfig &base,
 
 /** Run a full campaign (see file header). */
 CampaignResult runCampaign(const CampaignConfig &cfg);
+
+/**
+ * Campaign analytics: one queryable JSON document aggregating the
+ * per-case telemetry capsules — campaign verdict, per-metric
+ * percentiles (speedup, cycles, violations, burst behaviour, wall
+ * time), per-axis percentile breakdowns, aggregate squash-cause and
+ * variable-class tallies, the top squash-cause loops, and the host
+ * profiler's attribution snapshot.  scripts/obs_report.py renders it.
+ */
+std::string campaignAnalyticsJson(const CampaignConfig &cfg,
+                                  const CampaignResult &res);
+
+/** campaignAnalyticsJson() to a file.  @return false on I/O error. */
+bool writeCampaignAnalytics(const std::string &path,
+                            const CampaignConfig &cfg,
+                            const CampaignResult &res);
 
 } // namespace forge
 } // namespace jrpm

@@ -1,5 +1,6 @@
 #include "cache.hh"
 
+#include "common/hostprof.hh"
 #include "common/logging.hh"
 
 namespace jrpm
@@ -56,6 +57,7 @@ CacheModel::tagOf(Addr addr) const
 bool
 CacheModel::access(Addr addr)
 {
+    JRPM_HPROF(CacheModel);
     const std::uint32_t set = setOf(addr);
     const Addr tag = tagOf(addr);
     Way *base = &ways[static_cast<std::size_t>(set) * assocWays];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hostprof.hh"
 #include "common/logging.hh"
 #include "memory/main_memory.hh"
 
@@ -113,6 +114,7 @@ StoreBuffer::readMerge(Addr addr, std::uint32_t len,
 void
 StoreBuffer::drainTo(MainMemory &mem)
 {
+    JRPM_HPROF(BufferDrain);
     for (const auto &[base, line] : lines) {
         for (std::uint32_t b = 0; b < config.lineBytes; ++b) {
             if (line.mask & (1u << b)) {

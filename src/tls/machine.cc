@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hostprof.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/trace.hh"
@@ -80,6 +81,7 @@ Machine::start(std::uint32_t method_id, const std::vector<Word> &args,
         c0.regs[R_A0 + i] = args[i];
     seqCpu = 0;
     specActive = false;
+    curLs = nullptr;
     contextStack.clear();
     uncaughtExc = false;
     lastHeadProgress = cycle;
@@ -97,19 +99,27 @@ Machine::halted() const
 bool
 Machine::run(std::uint64_t max_cycles)
 {
-    while (!halted() && max_cycles) {
-        const std::uint64_t n = advance(max_cycles);
-        if (n == 0)
-            break;
-        max_cycles -= n;
+    {
+        JRPM_HPROF(MachineRun);
+        while (!halted() && max_cycles) {
+            const std::uint64_t n = advance(max_cycles);
+            if (n == 0)
+                break;
+            max_cycles -= n;
+        }
+        // Re-emit each CPU's current state so the exporter can close
+        // the final spans at the last simulated cycle, not the last
+        // change.
+        if (JRPM_TRACE_ON())
+            for (const auto &c : cores)
+                JRPM_TRACE(static_cast<std::uint8_t>(c.id),
+                           TraceEvt::StateChange, cycle,
+                           static_cast<std::int32_t>(c.traceState));
     }
-    // Re-emit each CPU's current state so the exporter can close the
-    // final spans at the last simulated cycle, not the last change.
-    if (JRPM_TRACE_ON())
-        for (const auto &c : cores)
-            JRPM_TRACE(static_cast<std::uint8_t>(c.id),
-                       TraceEvt::StateChange, cycle,
-                       static_cast<std::int32_t>(c.traceState));
+    // run() is a thread drain point: merge this thread's host-cycle
+    // attribution so concurrent pipelines publish consistent totals.
+    if (hostprof::enabled())
+        hostprof::flushThread();
     return halted();
 }
 
@@ -216,6 +226,7 @@ Machine::advance(std::uint64_t budget)
     // counts make batched double accounting inexact.  Both are rare:
     // take the reference path wholesale.
     if (!fastPathOk || (fault && fault->armed())) {
+        JRPM_HPROF(StepExact);
         step();
         return 1;
     }
@@ -246,6 +257,7 @@ Machine::executeBurst(Core &c, std::uint64_t max_insts)
 std::uint64_t
 Machine::advanceSequential(std::uint64_t budget)
 {
+    JRPM_HPROF(SeqDispatch);
     Core &c = cores[seqCpu];
     std::uint64_t used = 0;
     while (used < budget) {
@@ -281,17 +293,20 @@ Machine::advanceSequential(std::uint64_t budget)
           }
           case StallKind::WaitHead:
           case StallKind::Overflow:
-          case StallKind::Exception:
+          case StallKind::Exception: {
             // Resolves immediately outside speculation; one exact
             // reference cycle keeps the resolution order right.
+            JRPM_HPROF(StepExact);
             step();
             ++used;
             continue;
+          }
           case StallKind::None:
             break;
         }
         if (!frameReady(c) ||
             burstStop(c, c.frameBase[c.pc.index], false)) {
+            JRPM_HPROF(StepExact);
             step();
             ++used;
             continue;
@@ -318,6 +333,7 @@ Machine::advanceSpeculative(std::uint64_t budget)
             const Cycle deadline =
                 lastHeadProgress + cfg.watchdog.noProgressCycles;
             if (cycle >= deadline) {
+                JRPM_HPROF(StepExact);
                 step(); // fires the watchdog at the exact cycle
                 ++used;
                 continue;
@@ -331,36 +347,47 @@ Machine::advanceSpeculative(std::uint64_t budget)
         // reference step.
         std::uint64_t quiet = ~0ull;
         bool slow = false;
-        burstRunners.clear();
-        for (auto &d : cores) {
-            if (d.mode == CpuMode::Halted || d.mode == CpuMode::Parked)
-                continue;
-            if (d.squashed) {
-                slow = true;
-                break;
-            }
-            switch (d.stall) {
-              case StallKind::None:
-                if (!frameReady(d) ||
-                    burstStop(d, d.frameBase[d.pc.index], true))
+        {
+            JRPM_HPROF(EventHorizon);
+            burstRunners.clear();
+            for (auto &d : cores) {
+                if (d.mode == CpuMode::Halted ||
+                    d.mode == CpuMode::Parked)
+                    continue;
+                if (d.squashed) {
                     slow = true;
-                else
-                    burstRunners.push_back(&d);
-                break;
-              case StallKind::Memory:
-              case StallKind::Trap:
-              case StallKind::Handler:
-                quiet = std::min<std::uint64_t>(quiet, d.stallCycles);
-                break;
-              default: // WaitHead / Overflow / Exception
-                if (isHead(d.id))
-                    slow = true; // resolves this cycle
-                break;
+                    break;
+                }
+                switch (d.stall) {
+                  case StallKind::None:
+                    if (!frameReady(d) ||
+                        burstStop(d, d.frameBase[d.pc.index], true))
+                        slow = true;
+                    else
+                        burstRunners.push_back(&d);
+                    break;
+                  case StallKind::Memory:
+                  case StallKind::Trap:
+                  case StallKind::Handler:
+                    quiet =
+                        std::min<std::uint64_t>(quiet, d.stallCycles);
+                    break;
+                  default: // WaitHead / Overflow / Exception
+                    if (isHead(d.id))
+                        slow = true; // resolves this cycle
+                    break;
+                }
+                if (slow)
+                    break;
             }
-            if (slow)
-                break;
         }
         if (slow || quiet == 0) {
+            // The "why can't speculative mode batch?" count: this
+            // window needed the cycle-exact reference path.
+            ++execStats.specSlowSteps;
+            if (curLs)
+                ++curLs->slowSteps;
+            JRPM_HPROF(StepExact);
             step();
             ++used;
             continue;
@@ -371,60 +398,70 @@ Machine::advanceSpeculative(std::uint64_t budget)
         // provably core-local instruction per cycle in CPU order;
         // nobody else's classification can change under them, so the
         // Fig. 10 accounting and stall countdowns batch at the end.
-        ++cycle;
-        for (auto &d : cores)
-            noteState(d, specWindowState(d));
         std::uint64_t b = 0;
-        for (;;) {
-            for (Core *r : burstRunners) {
-                const Inst &inst = r->frameBase[r->pc.index];
-                ++r->pc.index;
-                ++nInsts;
-                execInst(*r, inst);
+        {
+            JRPM_HPROF(SpecDispatch);
+            ++cycle;
+            for (auto &d : cores)
+                noteState(d, specWindowState(d));
+            for (;;) {
+                for (Core *r : burstRunners) {
+                    const Inst &inst = r->frameBase[r->pc.index];
+                    ++r->pc.index;
+                    ++nInsts;
+                    execInst(*r, inst);
+                }
+                ++b;
+                if (b >= k)
+                    break;
+                bool stop = false;
+                for (Core *r : burstRunners) {
+                    if (!frameReady(*r) ||
+                        burstStop(*r, r->frameBase[r->pc.index],
+                                  true)) {
+                        stop = true;
+                        break;
+                    }
+                }
+                if (stop)
+                    break;
+                ++cycle;
             }
-            ++b;
-            if (b >= k)
-                break;
-            bool stop = false;
-            for (Core *r : burstRunners) {
-                if (!frameReady(*r) ||
-                    burstStop(*r, r->frameBase[r->pc.index], true)) {
-                    stop = true;
+        }
+        execStats.burstSpans.sample(b);
+        if (curLs)
+            curLs->burstSpans.sample(b);
+        {
+            JRPM_HPROF(EventHorizon);
+            const double amt = specShare * static_cast<double>(b);
+            for (auto &d : cores) {
+                if (d.mode == CpuMode::Halted)
+                    continue;
+                if (d.mode == CpuMode::Parked) {
+                    execStats.waitUsed += amt;
+                    continue;
+                }
+                switch (d.stall) {
+                  case StallKind::None:
+                    d.tentativeRun += amt;
+                    break;
+                  case StallKind::Memory:
+                  case StallKind::Trap:
+                    d.tentativeRun += amt;
+                    d.stallCycles -= b;
+                    if (d.stallCycles == 0)
+                        d.stall = StallKind::None;
+                    break;
+                  case StallKind::Handler:
+                    execStats.overhead += amt;
+                    d.stallCycles -= b;
+                    if (d.stallCycles == 0)
+                        d.stall = StallKind::None;
+                    break;
+                  default:
+                    d.tentativeWait += amt;
                     break;
                 }
-            }
-            if (stop)
-                break;
-            ++cycle;
-        }
-        const double amt = specShare * static_cast<double>(b);
-        for (auto &d : cores) {
-            if (d.mode == CpuMode::Halted)
-                continue;
-            if (d.mode == CpuMode::Parked) {
-                execStats.waitUsed += amt;
-                continue;
-            }
-            switch (d.stall) {
-              case StallKind::None:
-                d.tentativeRun += amt;
-                break;
-              case StallKind::Memory:
-              case StallKind::Trap:
-                d.tentativeRun += amt;
-                d.stallCycles -= b;
-                if (d.stallCycles == 0)
-                    d.stall = StallKind::None;
-                break;
-              case StallKind::Handler:
-                execStats.overhead += amt;
-                d.stallCycles -= b;
-                if (d.stallCycles == 0)
-                    d.stall = StallKind::None;
-                break;
-              default:
-                d.tentativeWait += amt;
-                break;
             }
         }
         used += b;
@@ -936,6 +973,7 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
                        : mem.readByte(addr);
         latency = cacheLatency(c, addr, false);
     } else {
+        JRPM_HPROF(ForwardScan);
         // Gather the newest value visible to this thread: memory,
         // overlaid by less-speculative store buffers oldest-first,
         // overlaid by our own buffer.
@@ -948,6 +986,7 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
             underlying = mem.readByte(addr);
 
         bool forwarded = false;
+        std::uint64_t supplierIter = 0;
         // Overlay active earlier threads in iteration order.  With at
         // most numCpus candidates, selection beats building and
         // sorting a heap-allocated list on every speculative load.
@@ -970,11 +1009,27 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
                 underlying =
                     next->buffer.readMerge(addr, len, underlying);
                 forwarded = true;
+                supplierIter = next->iteration;
             }
             lastIter = next->iteration;
             haveLast = true;
         }
         raw = c.buffer.readMerge(addr, len, underlying);
+
+        if (forwarded) {
+            // Distance from the most-speculative (winning) supplier:
+            // how far the value travelled between iterations.
+            const std::uint64_t dist =
+                c.iteration > supplierIter
+                    ? c.iteration - supplierIter
+                    : 0;
+            ++execStats.forwardedLoads;
+            execStats.forwardDistance.sample(dist);
+            if (curLs) {
+                ++curLs->forwardedLoads;
+                curLs->forwardDistance.sample(dist);
+            }
+        }
 
         if (!non_violating) {
             const bool local = c.tags.writtenLocally(addr);
@@ -1061,11 +1116,16 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
         }
         c.buffer.write(addr, value, len);
         c.tags.recordStore(addr);
+        const std::uint64_t occ = c.buffer.lineCount();
+        execStats.storeBufOccupancy.sample(occ);
+        if (curLs)
+            curLs->storeBufOccupancy.sample(occ);
         cacheLatency(c, addr, true);
     }
 
     // Violation broadcast: any more-speculative thread that consumed
     // this word too early must restart (write-bus snoop in Hydra).
+    JRPM_HPROF(DepCheck);
     Core *victim = nullptr;
     for (auto &d : cores) {
         if (d.id == c.id || d.mode != CpuMode::Speculative ||
@@ -1205,6 +1265,7 @@ Machine::beginStl(Core &master, std::int32_t loop_id, Pc restart_pc)
     lastHeadProgress = cycle;
     auto &ls = stlRuntime[loop_id];
     ++ls.entries;
+    curLs = &ls;
     // A blacklisted loop still runs its STL code, but head-only:
     // sequential semantics at handler-overhead cost (§ graceful
     // degradation).
@@ -1292,6 +1353,7 @@ Machine::execScop(Core &c, const Inst &inst)
         auto &ls = stlRuntime[stlLoopId];
         ls.cyclesInside += cycle - stlEntryCycle;
         specActive = false;
+        curLs = nullptr;
         c.mode = CpuMode::Sequential;
         seqCpu = c.id;
         retireTentative(c, true);
@@ -1347,6 +1409,18 @@ Machine::execScop(Core &c, const Inst &inst)
         ctx.solo = soloMode;
         for (const auto &d : cores)
             ctx.savedIterations.push_back(d.iteration);
+        // Count one squash event if the switch discards in-flight
+        // speculative peers (their outer iterations restart later).
+        for (const auto &d : cores) {
+            if (d.id != c.id && d.mode == CpuMode::Speculative) {
+                ++execStats.squashCauses[static_cast<std::size_t>(
+                    SquashCause::StlSwitch)];
+                if (curLs)
+                    ++curLs->squashCauses[static_cast<std::size_t>(
+                        SquashCause::StlSwitch)];
+                break;
+            }
+        }
         parkOthers(c.id);
         contextStack.push_back(std::move(ctx));
         break;
@@ -1366,6 +1440,7 @@ Machine::execScop(Core &c, const Inst &inst)
         c.clearSpecState();
         auto &ls = stlRuntime[stlLoopId];
         ++ls.entries;
+        curLs = &ls;
         soloMode = governorBlacklist.count(stlLoopId) != 0;
         if (soloMode)
             ++ls.soloEntries;
@@ -1393,6 +1468,7 @@ Machine::execScop(Core &c, const Inst &inst)
         stlMaster = ctx.master;
         stlEntryCycle = ctx.entryCycle;
         soloMode = ctx.solo;
+        curLs = &stlRuntime[stlLoopId];
         lastHeadProgress = cycle;
         // This CPU adopts the outer iteration of the CPU that
         // performed the switch; everyone else restarts theirs.
@@ -1431,6 +1507,7 @@ Machine::execScop(Core &c, const Inst &inst)
 void
 Machine::commitThread(Core &c)
 {
+    JRPM_HPROF(Commit);
     lastHeadProgress = cycle;
     auto &ls = stlRuntime[stlLoopId];
     ++ls.commits;
@@ -1507,10 +1584,22 @@ Machine::execSmem(Core &c, const Inst &inst)
 
 void
 Machine::violate(Core &victim, Addr addr, std::uint32_t site,
-                 std::uint32_t store_cpu)
+                 std::uint32_t store_cpu, SquashCause cause)
 {
-    if (specActive)
-        ++stlRuntime[stlLoopId].violations;
+    const std::size_t causeIdx = static_cast<std::size_t>(cause);
+    ++execStats.squashCauses[causeIdx];
+    if (cause == SquashCause::RawViolation)
+        ++execStats
+              .violationsByClass[static_cast<std::size_t>(
+                  classifyAddr(addr))];
+    if (specActive) {
+        auto &ls = stlRuntime[stlLoopId];
+        ++ls.violations;
+        ++ls.squashCauses[causeIdx];
+        if (cause == SquashCause::RawViolation)
+            ++ls.violationsByClass[static_cast<std::size_t>(
+                classifyAddr(addr))];
+    }
     if (JRPM_TRACE_ON()) {
         ViolationRecord rec;
         rec.cycle = cycle;
@@ -1554,6 +1643,7 @@ Machine::violate(Core &victim, Addr addr, std::uint32_t site,
 void
 Machine::squashToRestart(Core &c)
 {
+    JRPM_HPROF(Squash);
     retireTentative(c, false);
     c.clearSpecState();
     // Pending exception/trap state belongs to the squashed attempt:
@@ -1614,7 +1704,7 @@ Machine::pollFaults()
                            FaultKind::SpuriousViolation),
                        v.id);
             execStats.noteViolation(0);
-            violate(v, 0, 0, v.id);
+            violate(v, 0, 0, v.id, SquashCause::SpuriousFault);
         }
     }
 }
@@ -1634,6 +1724,11 @@ void
 Machine::watchdogFire()
 {
     ++execStats.watchdogFires;
+    ++execStats.squashCauses[static_cast<std::size_t>(
+        SquashCause::Watchdog)];
+    if (specActive)
+        ++stlRuntime[stlLoopId].squashCauses[static_cast<std::size_t>(
+            SquashCause::Watchdog)];
     watchdogTripped = true;
     warn("watchdog: no head commit for %llu cycles in loop %d "
          "(head iteration %llu, next to assign %llu); dumping state, "
@@ -1651,6 +1746,7 @@ Machine::watchdogFire()
                stlLoopId, headIteration);
     stlRuntime[stlLoopId].cyclesInside += cycle - stlEntryCycle;
     specActive = false;
+    curLs = nullptr;
     contextStack.clear();
     for (auto &d : cores) {
         if (d.mode == CpuMode::Halted)
@@ -1691,6 +1787,9 @@ Machine::governorDegrade(Core &head)
 {
     auto &ls = stlRuntime[stlLoopId];
     ++execStats.governorAborts;
+    ++execStats.squashCauses[static_cast<std::size_t>(
+        SquashCause::Governor)];
+    ++ls.squashCauses[static_cast<std::size_t>(SquashCause::Governor)];
     ++ls.governorAborts;
     ++ls.soloEntries;
     governorBlacklist.insert(stlLoopId);
@@ -1738,8 +1837,11 @@ Machine::execTrap(Core &c, const Inst &inst)
     if (!runtime)
         panic("TRAP %d with no runtime installed", inst.imm);
     c.exceptionPc = instPc;
-    std::uint32_t cost =
-        runtime->trap(*this, c.id, static_cast<TrapId>(inst.imm));
+    std::uint32_t cost;
+    {
+        JRPM_HPROF(TrapRuntime);
+        cost = runtime->trap(*this, c.id, static_cast<TrapId>(inst.imm));
+    }
     if (cost == kTrapRetry) {
         c.pc = instPc;
         c.stall = StallKind::WaitHead;
@@ -1827,6 +1929,7 @@ Machine::dispatchException(Core &c)
         c.buffer.drainTo(mem);
         retireTentative(c, true);
         specActive = false;
+        curLs = nullptr;
         contextStack.clear();
         c.mode = CpuMode::Sequential;
         seqCpu = c.id;
@@ -1918,6 +2021,22 @@ Machine::unwind(Core &c, ExcKind kind, Word value)
 // Observability
 // ---------------------------------------------------------------------
 
+void
+Machine::setAddrRegions(std::vector<AddrRegion> regions)
+{
+    addrRegions = std::move(regions);
+}
+
+AddrClass
+Machine::classifyAddr(Addr addr) const
+{
+    // A handful of regions; linear scan beats anything fancier.
+    for (const AddrRegion &r : addrRegions)
+        if (addr >= r.base && addr < r.limit)
+            return r.cls;
+    return AddrClass::Unknown;
+}
+
 std::uint64_t
 Machine::l1Hits() const
 {
@@ -1957,6 +2076,18 @@ Machine::publishMetrics(MetricsRegistry &reg) const
             .inc(execStats.governorAborts);
         reg.counter("tls.violations_suppressed")
             .inc(execStats.violationsSuppressed);
+        reg.counter("tls.spec_windows").inc(execStats.burstSpans.count);
+        reg.counter("tls.spec_window_insts")
+            .inc(execStats.burstSpans.sum);
+        reg.counter("tls.spec_slow_steps").inc(execStats.specSlowSteps);
+        reg.counter("tls.forwarded_loads").inc(execStats.forwardedLoads);
+        for (std::size_t i = 0; i < kNumSquashCauses; ++i)
+            reg.counter(std::string("tls.squash.") + squashCauseName(i))
+                .inc(execStats.squashCauses[i]);
+        for (std::size_t i = 0; i < kNumAddrClasses; ++i)
+            reg.counter(std::string("tls.violations_by_class.") +
+                        addrClassName(i))
+                .inc(execStats.violationsByClass[i]);
         for (const auto &c : cores)
             c.l1.publishMetrics(reg, strfmt("cache.l1.cpu%u", c.id));
         l2.publishMetrics(reg, "cache.l2");
@@ -1985,6 +2116,17 @@ Machine::publishMetrics(MetricsRegistry &reg) const
         }
         h.l2Hits = &reg.counter("cache.l2.hits");
         h.l2Misses = &reg.counter("cache.l2.misses");
+        h.specWindows = &reg.counter("tls.spec_windows");
+        h.specWindowInsts = &reg.counter("tls.spec_window_insts");
+        h.specSlowSteps = &reg.counter("tls.spec_slow_steps");
+        h.forwardedLoads = &reg.counter("tls.forwarded_loads");
+        for (std::size_t i = 0; i < kNumSquashCauses; ++i)
+            h.squashCauses[i] = &reg.counter(
+                std::string("tls.squash.") + squashCauseName(i));
+        for (std::size_t i = 0; i < kNumAddrClasses; ++i)
+            h.violationsByClass[i] = &reg.counter(
+                std::string("tls.violations_by_class.") +
+                addrClassName(i));
     }
     h.cycles->inc(cycle);
     h.insts->inc(nInsts);
@@ -2002,6 +2144,14 @@ Machine::publishMetrics(MetricsRegistry &reg) const
     }
     h.l2Hits->inc(l2.hits());
     h.l2Misses->inc(l2.misses());
+    h.specWindows->inc(execStats.burstSpans.count);
+    h.specWindowInsts->inc(execStats.burstSpans.sum);
+    h.specSlowSteps->inc(execStats.specSlowSteps);
+    h.forwardedLoads->inc(execStats.forwardedLoads);
+    for (std::size_t i = 0; i < kNumSquashCauses; ++i)
+        h.squashCauses[i]->inc(execStats.squashCauses[i]);
+    for (std::size_t i = 0; i < kNumAddrClasses; ++i)
+        h.violationsByClass[i]->inc(execStats.violationsByClass[i]);
     publishLoopMetrics(reg);
 }
 
@@ -2017,6 +2167,10 @@ Machine::publishLoopMetrics(MetricsRegistry &reg) const
         reg.counter(p + ".solo_entries").inc(ls.soloEntries);
         reg.counter(p + ".governor_aborts").inc(ls.governorAborts);
         reg.counter(p + ".cycles_inside").inc(ls.cyclesInside);
+        reg.counter(p + ".slow_steps").inc(ls.slowSteps);
+        reg.counter(p + ".forwarded_loads").inc(ls.forwardedLoads);
+        reg.counter(p + ".burst_windows").inc(ls.burstSpans.count);
+        reg.counter(p + ".burst_insts").inc(ls.burstSpans.sum);
         reg.histogram(p + ".thread_cycles").merge(ls.threadCycles);
     }
 }

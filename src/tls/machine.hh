@@ -193,6 +193,22 @@ class Machine
     /** Per-STL-loop counters (dynamic names; always slow path). */
     void publishLoopMetrics(MetricsRegistry &reg) const;
 
+    // ---- dependence telemetry (observatory) -------------------------
+    /** One contiguous address range with a variable-class label. */
+    struct AddrRegion
+    {
+        Addr base = 0;
+        Addr limit = 0;   ///< exclusive
+        AddrClass cls = AddrClass::Unknown;
+    };
+
+    /** Install the VM memory-layout regions used to bucket violated
+     *  addresses by variable class (stack/heap/static/scratch). */
+    void setAddrRegions(std::vector<AddrRegion> regions);
+
+    /** Variable-class bucket for @p addr (Unknown if unmapped). */
+    AddrClass classifyAddr(Addr addr) const;
+
   private:
     // ---- machine state ---------------------------------------------
     SystemConfig cfg;
@@ -250,6 +266,14 @@ class Machine
     ExecStats execStats;
     StlStatsMap stlRuntime;
 
+    /** Cached &stlRuntime[stlLoopId] so per-window telemetry avoids a
+     *  map lookup; kept in sync wherever stlLoopId changes.  Map nodes
+     *  are address-stable, so the pointer survives later insertions. */
+    StlRuntimeStats *curLs = nullptr;
+
+    /** VM layout regions for classifyAddr (few entries; linear scan). */
+    std::vector<AddrRegion> addrRegions;
+
     /**
      * Pre-resolved handles for the fixed-name machine counters.
      * MetricsRegistry hands back lifetime-stable references, so the
@@ -274,6 +298,13 @@ class Machine
         std::vector<std::pair<Counter *, Counter *>> l1HitMiss;
         Counter *l2Hits = nullptr;
         Counter *l2Misses = nullptr;
+        // dependence telemetry
+        Counter *specWindows = nullptr;
+        Counter *specWindowInsts = nullptr;
+        Counter *specSlowSteps = nullptr;
+        Counter *forwardedLoads = nullptr;
+        std::array<Counter *, kNumSquashCauses> squashCauses{};
+        std::array<Counter *, kNumAddrClasses> violationsByClass{};
     };
     mutable MetricsHandles metricsHandles;
 
@@ -339,9 +370,11 @@ class Machine
                           bool trap_context = false);
 
     /** Squash CPU @p victim and everything more speculative.
-     *  @p addr/@p site/@p store_cpu attribute the violating store. */
+     *  @p addr/@p site/@p store_cpu attribute the violating store;
+     *  @p cause feeds the squash-cause telemetry. */
     void violate(Core &victim, Addr addr, std::uint32_t site,
-                 std::uint32_t store_cpu);
+                 std::uint32_t store_cpu,
+                 SquashCause cause = SquashCause::RawViolation);
     /** Reset one CPU to its STL restart point. */
     void squashToRestart(Core &c);
     /** Commit the thread of @p c (must be head). */

@@ -58,6 +58,29 @@ VmRuntime::scratchRegions(const VmConfig &cfg,
     return regions;
 }
 
+std::vector<Machine::AddrRegion>
+VmRuntime::addrRegions(const VmConfig &cfg)
+{
+    std::vector<Machine::AddrRegion> regions;
+    // Statics: globalsBase up to the lock table.
+    regions.push_back({cfg.globalsBase, cfg.lockTableBase,
+                       AddrClass::Static});
+    // Lock table + allocator control words are VM scratch.
+    regions.push_back({cfg.lockTableBase,
+                       cfg.lockTableBase + 4 * cfg.maxLocks,
+                       AddrClass::Scratch});
+    regions.push_back({cfg.heapBase - 4096, cfg.heapBase,
+                       AddrClass::Scratch});
+    // The runtime stack grows down from stackTop; same 256K window
+    // the GC root scan and the oracle's skip list assume.
+    const Addr stack_reserve = 256u << 10;
+    regions.push_back({cfg.stackTop - stack_reserve, cfg.stackTop,
+                       AddrClass::Stack});
+    regions.push_back({cfg.heapBase, cfg.heapBase + cfg.heapBytes,
+                       AddrClass::Heap});
+    return regions;
+}
+
 void
 VmRuntime::prepare()
 {

@@ -128,6 +128,16 @@ class VmRuntime : public RuntimeHooks
     static std::vector<std::pair<Addr, std::uint32_t>>
     scratchRegions(const VmConfig &cfg, std::uint32_t num_cpus);
 
+    /**
+     * The memory map as variable-class regions for the observatory's
+     * violated-address bucketing (Machine::setAddrRegions).  Mapping
+     * onto the analyzer's vocabulary: Stack holds locals/private/
+     * carried spills, Heap is the Memory class, Static covers
+     * invariant statics, Scratch is allocator/lock bookkeeping.
+     */
+    static std::vector<Machine::AddrRegion>
+    addrRegions(const VmConfig &cfg);
+
   private:
     Machine &m;
     VmConfig cfg;

@@ -167,5 +167,94 @@ goldenName(const ::testing::TestParamInfo<Golden> &info)
 INSTANTIATE_TEST_SUITE_P(Workloads, GoldenCycles,
                          ::testing::ValuesIn(kGolden), goldenName);
 
+// ---------------------------------------------------------------------
+// Dependence-telemetry goldens.  The observatory counters must be pure
+// observers of the same deterministic execution the cycle goldens pin,
+// so their values are pinned the same way: bit-exact, regenerated only
+// deliberately (JRPM_GOLDEN_REGEN=1).
+// ---------------------------------------------------------------------
+
+/** Exact expected telemetry counters of one TLS run. */
+struct TelemetryGolden
+{
+    const char *workload;
+    std::uint64_t specWindows;     ///< burstSpans.count
+    std::uint64_t specWindowInsts; ///< burstSpans.sum
+    std::uint64_t specSlowSteps;
+    std::uint64_t forwardedLoads;
+    std::uint64_t occupancySamples; ///< storeBufOccupancy.count
+    std::uint64_t rawSquashes;      ///< squashCauses[RawViolation]
+    std::uint64_t stackViolations;  ///< violationsByClass[Stack]
+};
+
+const TelemetryGolden kTelemetry[] = {
+    // clang-format off
+    {"Assignment", 6445ull, 17594ull, 7705ull, 1558ull, 1440ull, 5ull, 0ull},
+    {"Huffman", 3913ull, 14308ull, 11828ull, 0ull, 2400ull, 0ull, 0ull},
+    {"IDEA", 11476ull, 41542ull, 18930ull, 0ull, 2716ull, 0ull, 0ull},
+    // clang-format on
+};
+
+/** Print one row in source form, ready to paste into kTelemetry. */
+void
+printTelemetryRow(const char *workload, const ExecStats &st)
+{
+    std::printf("    {\"%s\", %lluull, %lluull, %lluull, %lluull, "
+                "%lluull, %lluull, %lluull},\n",
+                workload,
+                static_cast<unsigned long long>(st.burstSpans.count),
+                static_cast<unsigned long long>(st.burstSpans.sum),
+                static_cast<unsigned long long>(st.specSlowSteps),
+                static_cast<unsigned long long>(st.forwardedLoads),
+                static_cast<unsigned long long>(
+                    st.storeBufOccupancy.count),
+                static_cast<unsigned long long>(st.squashCauses[
+                    static_cast<std::size_t>(
+                        SquashCause::RawViolation)]),
+                static_cast<unsigned long long>(st.violationsByClass[
+                    static_cast<std::size_t>(AddrClass::Stack)]));
+}
+
+TEST(TelemetryGoldens, TlsCountersExactMatch)
+{
+    for (const TelemetryGolden &g : kTelemetry) {
+        const RunOutcome out = runMode(g.workload, "tls");
+        ASSERT_TRUE(out.halted) << g.workload;
+        const ExecStats &st = out.stats;
+
+        if (regenRequested()) {
+            printTelemetryRow(g.workload, st);
+            continue;
+        }
+
+        EXPECT_EQ(st.burstSpans.count, g.specWindows) << g.workload;
+        EXPECT_EQ(st.burstSpans.sum, g.specWindowInsts) << g.workload;
+        EXPECT_EQ(st.specSlowSteps, g.specSlowSteps) << g.workload;
+        EXPECT_EQ(st.forwardedLoads, g.forwardedLoads) << g.workload;
+        EXPECT_EQ(st.storeBufOccupancy.count, g.occupancySamples)
+            << g.workload;
+        EXPECT_EQ(st.squashCauses[static_cast<std::size_t>(
+                      SquashCause::RawViolation)],
+                  g.rawSquashes)
+            << g.workload;
+        EXPECT_EQ(st.violationsByClass[static_cast<std::size_t>(
+                      AddrClass::Stack)],
+                  g.stackViolations)
+            << g.workload;
+
+        // Internal consistency: every violation has exactly one
+        // squash cause and one address class.
+        std::uint64_t causes = 0, classes = 0;
+        for (std::size_t k = 0; k < kNumSquashCauses; ++k)
+            causes += st.squashCauses[k];
+        for (std::size_t k = 0; k < kNumAddrClasses; ++k)
+            classes += st.violationsByClass[k];
+        EXPECT_EQ(classes, st.violations) << g.workload;
+        EXPECT_GE(causes, st.violations) << g.workload;
+    }
+    if (regenRequested())
+        GTEST_SKIP() << "golden regeneration mode";
+}
+
 } // namespace
 } // namespace jrpm

@@ -10,15 +10,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/hostprof.hh"
+#include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/obs.hh"
 #include "common/trace.hh"
 #include "core/jrpm.hh"
+#include "core/report_json.hh"
 #include "cpu/stats.hh"
 #include "tls/machine.hh"
 #include "workloads/workloads.hh"
@@ -746,6 +756,268 @@ TEST(ExecStatsViolations, AddressTableIsBoundedAndRanked)
     EXPECT_EQ(top[1].second, 2u);
     for (std::size_t k = 1; k < top.size(); ++k)
         EXPECT_GE(top[k - 1].second, top[k].second);
+}
+
+// ---------------------------------------------------------------------
+// Chrome JSON round-trip through the core report parser: the exporter
+// and jsonParse() must agree on the format, not merely the test-local
+// reader above.
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, ChromeJsonRoundTripsThroughCoreParser)
+{
+    Trace &tr = Trace::global();
+    recordState(0, 0, TraceState::Serial);
+    recordState(0, 50, TraceState::SpecRun);
+    recordState(0, 80, TraceState::Idle);
+    recordState(1, 10, TraceState::SpecWait);
+    recordState(1, 30, TraceState::Idle);
+    tr.record(Trace::kHostTrack, TraceEvt::JitCompile, 5, 0, 42, 1);
+    tr.record(2, TraceEvt::MemStall, 20, 1, kArrayBase, 8);
+
+    JsonValue root;
+    std::string err;
+    ASSERT_TRUE(jsonParse(tr.exportChromeJson(), root, &err)) << err;
+    const JsonValue &evs = root["traceEvents"];
+    ASSERT_EQ(evs.kind, JsonValue::Kind::Array);
+    ASSERT_FALSE(evs.items.empty());
+
+    std::size_t metadata = 0;
+    std::map<double, std::vector<std::pair<double, double>>> byTid;
+    for (const JsonValue &e : evs.items) {
+        ASSERT_EQ(e.kind, JsonValue::Kind::Object);
+        // Every event carries the fixed process id and a numeric
+        // thread id (the track).
+        ASSERT_EQ(e["pid"].kind, JsonValue::Kind::Number);
+        EXPECT_EQ(e["pid"].number(), 0.0);
+        ASSERT_EQ(e["tid"].kind, JsonValue::Kind::Number);
+        const std::string &ph = e["ph"].str;
+        if (ph == "M") {
+            ++metadata;
+            EXPECT_EQ(e["name"].str, "thread_name");
+            EXPECT_EQ(e["args"]["name"].kind,
+                      JsonValue::Kind::String);
+        } else if (ph == "X") {
+            ASSERT_EQ(e["ts"].kind, JsonValue::Kind::Number);
+            ASSERT_EQ(e["dur"].kind, JsonValue::Kind::Number);
+            byTid[e["tid"].number()].emplace_back(e["ts"].number(),
+                                                  e["dur"].number());
+        }
+    }
+    EXPECT_EQ(metadata, 5u); // 4 cpu tracks + host
+
+    // The exporter emits one flat lane per tid, so span nesting is
+    // valid exactly when siblings on a lane never overlap.
+    std::size_t spanCount = 0;
+    for (auto &[tid, xs] : byTid) {
+        std::sort(xs.begin(), xs.end());
+        for (std::size_t k = 1; k < xs.size(); ++k)
+            EXPECT_GE(xs[k].first, xs[k - 1].first + xs[k - 1].second)
+                << "overlapping spans on tid " << tid;
+        spanCount += xs.size();
+    }
+    EXPECT_EQ(spanCount, 3u); // serial + spec_run on cpu0, wait on 1
+}
+
+// ---------------------------------------------------------------------
+// Host-side self-profiler.
+// ---------------------------------------------------------------------
+
+#if JRPM_HOSTPROF_ENABLED
+
+/** Burn host time until the TSC has advanced by `ticks`. */
+void
+spinTicks(std::uint64_t ticks)
+{
+    const std::uint64_t t0 = hostprof::now();
+    while (hostprof::now() - t0 < ticks) {
+    }
+}
+
+const hostprof::SlotSnapshot &
+slotByName(const std::vector<hostprof::SlotSnapshot> &snap,
+           const std::string &name)
+{
+    for (const auto &s : snap)
+        if (s.name == name)
+            return s;
+    static const hostprof::SlotSnapshot missing;
+    ADD_FAILURE() << "no slot named " << name;
+    return missing;
+}
+
+TEST(HostProf, NestedScopesSplitSelfAndChildTime)
+{
+    constexpr std::uint64_t kSpin = 200'000;
+    hostprof::reset();
+    hostprof::setEnabled(true);
+    {
+        hostprof::ScopedHostTimer outer(hostprof::HostSlot::MachineRun);
+        spinTicks(kSpin);
+        {
+            hostprof::ScopedHostTimer inner(hostprof::HostSlot::Commit);
+            spinTicks(kSpin);
+        }
+    }
+    hostprof::setEnabled(false);
+    hostprof::flushThread();
+
+    const auto snap = hostprof::snapshot();
+    const auto &run = slotByName(snap, "machine_run");
+    const auto &commit = slotByName(snap, "commit");
+    EXPECT_EQ(run.count, 1u);
+    EXPECT_EQ(commit.count, 1u);
+    EXPECT_GE(commit.tsc, kSpin);
+    EXPECT_GE(run.tsc, commit.tsc + kSpin);
+    // The inner scope's whole time is the outer's child time, so the
+    // split is exact, not approximate.
+    EXPECT_EQ(run.self, run.tsc - commit.tsc);
+    EXPECT_EQ(commit.self, commit.tsc);
+    hostprof::reset();
+}
+
+TEST(HostProf, DisabledTimersRecordNothing)
+{
+    hostprof::reset();
+    hostprof::setEnabled(false);
+    {
+        JRPM_HPROF(MachineRun);
+        JRPM_HPROF(Commit);
+        spinTicks(10'000);
+    }
+    hostprof::flushThread();
+    for (const auto &s : hostprof::snapshot()) {
+        EXPECT_EQ(s.count, 0u) << s.name;
+        EXPECT_EQ(s.tsc, 0u) << s.name;
+    }
+}
+
+TEST(HostProf, PipelineAttributionCoversRunWallTime)
+{
+    hostprof::tscHz(); // calibrate outside the measured window
+    hostprof::reset();
+
+    Workload w = wl::workloadByName("IDEA");
+    w.mainArgs = {300};
+    JrpmConfig cfg;
+    cfg.obs.hostprofEnabled = true;
+    JrpmSystem sys(w, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const JrpmReport rep = sys.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    hostprof::setEnabled(false);
+    EXPECT_TRUE(rep.tls.halted);
+
+    double pipeline = 0.0, sumSelf = 0.0;
+    for (const auto &s : hostprof::snapshot()) {
+        if (s.name == "pipeline")
+            pipeline = s.totalSec;
+        sumSelf += s.selfSec;
+    }
+    // The observatory's acceptance bar: attributed host time covers
+    // at least 95% of the measured wall time of run().
+    EXPECT_GE(pipeline, 0.95 * wall)
+        << "pipeline " << pipeline << "s of wall " << wall << "s";
+    EXPECT_LE(pipeline, 1.10 * wall); // gross TSC miscalibration
+    // Exclusive times partition the single root exactly; allow 1%
+    // for tick-to-seconds rounding per slot.
+    EXPECT_NEAR(sumSelf, pipeline, 0.01 * pipeline + 1e-9);
+    hostprof::reset();
+}
+
+#endif // JRPM_HOSTPROF_ENABLED
+
+// ---------------------------------------------------------------------
+// Throttled-warning suppression counts through the metrics registry.
+// ---------------------------------------------------------------------
+
+TEST(LogMetrics, ThrottledWarningsExportSuppressionCounts)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.clear();
+    setQuiet(true); // metrics must count even when silenced
+    for (int i = 0; i < 25; ++i)
+        warnThrottled("unit.noisy", "synthetic warning %d", i);
+    warnThrottled("unit.rare", "one-off warning");
+    EXPECT_EQ(reg.counter("log.throttled.unit.noisy").value(), 25u);
+    EXPECT_EQ(reg.counter("log.throttled.unit.rare").value(), 1u);
+
+    logReportSuppressed();
+    // 5 printed verbatim, 20 suppressed; a key under the verbatim
+    // budget publishes no suppression count.
+    EXPECT_EQ(reg.counter("log.suppressed.unit.noisy").value(), 20u);
+    EXPECT_EQ(reg.counter("log.suppressed.unit.rare").value(), 0u);
+
+    // Reporting drains the throttle table: a fresh burst is verbatim
+    // again and adds nothing to the suppression count.
+    warnThrottled("unit.noisy", "after drain");
+    EXPECT_EQ(reg.counter("log.throttled.unit.noisy").value(), 26u);
+    logReportSuppressed();
+    EXPECT_EQ(reg.counter("log.suppressed.unit.noisy").value(), 20u);
+
+    setQuiet(false);
+    reg.clear();
+}
+
+// ---------------------------------------------------------------------
+// Failure-path output flush (obs failsafe).
+// ---------------------------------------------------------------------
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(ObsFailsafe, FlushWritesPartialOutputsOnceThenDisarms)
+{
+    Trace &tr = Trace::global();
+    tr.configure(2, 64);
+    tr.setEnabled(true);
+    tr.record(0, TraceEvt::VmTrap, 3, 1);
+    tr.setEnabled(false);
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.clear();
+    reg.counter("obs.partial").inc(9);
+
+    const std::string tpath = "obs_failsafe_trace.json";
+    const std::string mpath = "obs_failsafe_metrics.json";
+    std::remove(tpath.c_str());
+    std::remove(mpath.c_str());
+
+    obs::setFailsafeOutputs(tpath, mpath);
+    obs::failsafeFlush();
+
+    JsonValue troot, mroot;
+    std::string err;
+    ASSERT_TRUE(jsonParse(slurp(tpath), troot, &err)) << err;
+    EXPECT_EQ(troot["traceEvents"].kind, JsonValue::Kind::Array);
+    ASSERT_TRUE(jsonParse(slurp(mpath), mroot, &err)) << err;
+    EXPECT_EQ(mroot["obs.partial"]["value"].number(), 9.0);
+
+    // A second flush is a no-op: the first one disarmed.
+    std::remove(tpath.c_str());
+    std::remove(mpath.c_str());
+    obs::failsafeFlush();
+    EXPECT_TRUE(slurp(tpath).empty());
+    EXPECT_TRUE(slurp(mpath).empty());
+
+    // An explicit disarm (the success path) also suppresses output.
+    obs::setFailsafeOutputs(tpath, mpath);
+    obs::disarmFailsafe();
+    obs::failsafeFlush();
+    EXPECT_TRUE(slurp(tpath).empty());
+    EXPECT_TRUE(slurp(mpath).empty());
+
+    tr.clear();
+    reg.clear();
 }
 
 } // namespace
