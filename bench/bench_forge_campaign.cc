@@ -26,14 +26,41 @@
  *
  *  --emit-starter=<dir>  write the hand-minimized starter corpus
  *                        (one scenario per stress axis + one mixed).
+ *
+ *  --fleet             run the campaign as a crash-isolated fleet:
+ *                      shard the seed range over --jobs worker
+ *                      subprocesses supervised with per-case
+ *                      --case-timeout-ms deadlines, journal progress
+ *                      into --manifest (resumable after SIGKILL),
+ *                      quarantine cases that kill a worker twice and
+ *                      shrink them out of process.  --chaos-kill-ms
+ *                      turns on the self-test worker killer.
+ *
+ *  Internal modes the fleet supervisor uses (not for humans):
+ *  --worker-range=<lo>:<hi>:<attempt>   run seeds [lo,hi) (hex) and
+ *                      stream results over stdout (fleet/wire.hh)
+ *  --worker-replay=<file>   replay one corpus entry; exit 0 clean,
+ *                      2 failing, 3 unreadable — crashing is the
+ *                      expected outcome for poison candidates
+ *
+ *  The JRPM_FLEET_ABORT_SEED env var (hex seed) makes worker modes
+ *  abort() on that scenario — the poison-case test hook.
  */
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include <unistd.h>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/obs.hh"
+#include "fleet/fleet.hh"
+#include "fleet/wire.hh"
 #include "forge/campaign.hh"
 #include "forge/corpus.hh"
 #include "forge/forge.hh"
@@ -209,6 +236,172 @@ shrinkDemo(const Options &opt)
     return 0;
 }
 
+/** The JRPM_FLEET_ABORT_SEED poison-case hook shared by the worker
+ *  modes; true when the env var is set and names @p seed. */
+bool
+abortSeedHit(std::uint64_t seed)
+{
+    const char *env = std::getenv("JRPM_FLEET_ABORT_SEED");
+    return env && std::strtoull(env, nullptr, 16) == seed;
+}
+
+/** Fleet worker: run seeds [lo,hi) from --worker-range, streaming
+ *  `S <seed>` / `D <seed> <json>` lines to the supervisor.  Crashes
+ *  and deadlocks need no handling here — dying *is* the protocol
+ *  (the supervisor reaps us and harvests --forensics). */
+int
+workerMain(const Options &opt)
+{
+    std::uint64_t lo = 0, hi = 0;
+    unsigned attempt = 0;
+    if (std::sscanf(opt.workerRange.c_str(),
+                    "%" SCNx64 ":%" SCNx64 ":%u", &lo, &hi,
+                    &attempt) != 3)
+        fatal("bad --worker-range '%s'", opt.workerRange.c_str());
+
+    JrpmConfig cfg = forgeConfig(opt);
+    if (!opt.forensics.empty()) {
+        const int pid = static_cast<int>(getpid());
+        // Crash record (signal + pid) for the supervisor's harvest.
+        obs::armCrashSignals(
+            opt.forensics + strfmt("/worker-%d.crash", pid));
+        // Partial telemetry: JrpmSystem::run() re-arms the obs
+        // failsafe from cfg.obs around every case, so the metrics
+        // path must ride in the config — a one-shot
+        // setFailsafeOutputs() call here would be overridden by the
+        // first case.
+        cfg.obs.metricsOut =
+            opt.forensics + strfmt("/worker-%d-metrics.json", pid);
+    }
+
+    const std::uint32_t axes = forge::parseAxes(opt.axes);
+    for (std::uint64_t s = lo; s < hi; ++s) {
+        // "Starting" marks the suspect seed if we die mid-case.
+        std::printf("S %016" PRIx64 "\n", s);
+        std::fflush(stdout);
+        const ScenarioSpec spec = forge::generate(s, axes);
+        if (abortSeedHit(spec.seed))
+            std::abort();
+
+        forge::CaseResult cr;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            ScopedFatalCapture guard;
+            cr = forge::runCase(spec, cfg, !opt.noForcedSweep);
+        } catch (const std::exception &e) {
+            cr = forge::CaseResult{};
+            cr.seed = spec.seed;
+            cr.axes = spec.axes();
+            cr.stmts =
+                static_cast<std::uint32_t>(spec.body.size());
+            cr.error = e.what();
+        }
+        cr.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        std::printf("D %016" PRIx64 " %s\n", s,
+                    fleet::caseResultJson(cr).c_str());
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+/** Sacrificial replay subprocess for the out-of-process shrinker:
+ *  exit 0 = candidate clean, 2 = failing, 3 = unreadable file; a
+ *  crash (the usual poison-case outcome) is classified by the
+ *  supervisor from our wait status. */
+int
+workerReplayMain(const Options &opt)
+{
+    CorpusEntry e;
+    std::string err;
+    if (!forge::readCorpusEntry(opt.workerReplay, e, &err)) {
+        std::fprintf(stderr, "worker-replay: %s\n", err.c_str());
+        return 3;
+    }
+    const JrpmConfig cfg = forgeConfig(opt);
+    if (abortSeedHit(e.spec.seed))
+        std::abort();
+    forge::CaseResult cr;
+    try {
+        ScopedFatalCapture guard;
+        cr = forge::runCase(e.spec, cfg, !opt.noForcedSweep);
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "worker-replay: %s\n", ex.what());
+        return 2;
+    }
+    return cr.failing(!cfg.faultPlan.empty()) ? 2 : 0;
+}
+
+/** Write the final metrics dump (shared by fleet and in-process
+ *  campaign exits; see the comment at the campaignMain call site). */
+void
+dumpFinalMetrics(const Options &opt)
+{
+    if (opt.metricsOut.empty())
+        return;
+    const std::string &p = opt.metricsOut;
+    const bool json =
+        p.size() >= 5 && p.compare(p.size() - 5, 5, ".json") == 0;
+    MetricsRegistry::global().writeFile(p, json);
+}
+
+int
+fleetMain(const Options &opt, const char *argv0)
+{
+    if (opt.manifest.empty())
+        fatal("--fleet needs --manifest=<path> (the journal that "
+              "makes the campaign resumable)");
+
+    fleet::FleetConfig fc;
+    fc.campaign.cases = opt.cases;
+    fc.campaign.seed = opt.seed;
+    fc.campaign.axes = forge::parseAxes(opt.axes);
+    fc.campaign.corpusOut = opt.corpusOut;
+    fc.campaign.forcedSweep = !opt.noForcedSweep;
+    fc.campaign.base = forgeConfig(opt);
+    fc.workers = opt.jobs;
+    fc.caseTimeoutMs = opt.caseTimeoutMs;
+    fc.chaosKillMs = opt.chaosKillMs;
+    fc.manifestPath = opt.manifest;
+    fc.forensicsDir = opt.forensics;
+
+    // Workers re-exec this binary; forward exactly the flags that
+    // shape a case's behavior (anything else would change the
+    // manifest's config identity between runs).
+    char exe[4096];
+    const ssize_t n =
+        readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    fc.workerCmd.push_back(n > 0 ? std::string(exe, n)
+                                 : std::string(argv0));
+    if (!opt.axes.empty())
+        fc.workerCmd.push_back("--axes=" + opt.axes);
+    if (!opt.oracle.empty())
+        fc.workerCmd.push_back("--oracle=" + opt.oracle);
+    if (!opt.faultPlan.empty())
+        fc.workerCmd.push_back("--fault-plan=" + opt.faultPlan);
+    if (opt.noForcedSweep)
+        fc.workerCmd.push_back("--no-forced-sweep");
+
+    std::printf("fleet campaign: %u cases over %u workers, seed "
+                "0x%" PRIx64 ", axes %s, oracle %s, %u ms/case, "
+                "manifest %s%s\n",
+                fc.campaign.cases, fc.workers, fc.campaign.seed,
+                forge::axesDescribe(fc.campaign.axes).c_str(),
+                oracleModeName(fc.campaign.base.oracle.mode),
+                fc.caseTimeoutMs, fc.manifestPath.c_str(),
+                fc.chaosKillMs ? " [chaos]" : "");
+    const forge::CampaignResult res = fleet::runFleet(fc);
+    std::printf("%s", res.summary().c_str());
+    if (!opt.analyticsOut.empty() &&
+        forge::writeCampaignAnalytics(opt.analyticsOut, fc.campaign,
+                                      res))
+        std::printf("analytics: %s\n", opt.analyticsOut.c_str());
+    logReportSuppressed();
+    dumpFinalMetrics(opt);
+    return res.clean() ? 0 : 1;
+}
+
 int
 campaignMain(int argc, char **argv)
 {
@@ -219,6 +412,12 @@ campaignMain(int argc, char **argv)
         return replayCorpus(opt);
     if (opt.shrinkDemo)
         return shrinkDemo(opt);
+    if (!opt.workerRange.empty())
+        return workerMain(opt);
+    if (!opt.workerReplay.empty())
+        return workerReplayMain(opt);
+    if (opt.fleet)
+        return fleetMain(opt, argv[0]);
 
     forge::CampaignConfig cc;
     cc.cases = opt.cases;
@@ -226,6 +425,7 @@ campaignMain(int argc, char **argv)
     cc.jobs = opt.jobs;
     cc.axes = forge::parseAxes(opt.axes);
     cc.corpusOut = opt.corpusOut;
+    cc.forcedSweep = !opt.noForcedSweep;
     cc.base = forgeConfig(opt);
 
     std::printf("forge campaign: %u cases, seed 0x%" PRIx64
@@ -248,12 +448,7 @@ campaignMain(int argc, char **argv)
     // suppression counts above were published; dump once more so the
     // final file carries the whole campaign, log.suppressed.*
     // included.
-    if (!opt.metricsOut.empty()) {
-        const std::string &p = opt.metricsOut;
-        const bool json = p.size() >= 5 &&
-                          p.compare(p.size() - 5, 5, ".json") == 0;
-        MetricsRegistry::global().writeFile(p, json);
-    }
+    dumpFinalMetrics(opt);
     return res.clean() ? 0 : 1;
 }
 

@@ -95,6 +95,26 @@ parseArgs(int argc, char **argv)
             opt.hostprof = true;
         } else if (!std::strncmp(argv[i], "--analytics-out=", 16)) {
             opt.analyticsOut = argv[i] + 16;
+        } else if (!std::strcmp(argv[i], "--fleet")) {
+            opt.fleet = true;
+        } else if (!std::strncmp(argv[i], "--manifest=", 11)) {
+            opt.manifest = argv[i] + 11;
+        } else if (!std::strncmp(argv[i], "--case-timeout-ms=", 18)) {
+            opt.caseTimeoutMs = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 18, nullptr, 10));
+            if (opt.caseTimeoutMs == 0)
+                opt.caseTimeoutMs = 1;
+        } else if (!std::strncmp(argv[i], "--chaos-kill-ms=", 16)) {
+            opt.chaosKillMs = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 16, nullptr, 10));
+        } else if (!std::strncmp(argv[i], "--worker-range=", 15)) {
+            opt.workerRange = argv[i] + 15;
+        } else if (!std::strncmp(argv[i], "--worker-replay=", 16)) {
+            opt.workerReplay = argv[i] + 16;
+        } else if (!std::strncmp(argv[i], "--forensics=", 12)) {
+            opt.forensics = argv[i] + 12;
+        } else if (!std::strcmp(argv[i], "--no-forced-sweep")) {
+            opt.noForcedSweep = true;
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [--quick] [--only=<benchmark>] "
                         "[--list] [--jobs=<n>] [--repo=<dir>] "
@@ -107,7 +127,11 @@ parseArgs(int argc, char **argv)
                         "[--seed=<n>] [--axes=<list|all>] "
                         "[--corpus-out=<dir>] [--replay=<dir>] "
                         "[--emit-starter=<dir>] [--shrink-demo] "
-                        "[--hostprof] [--analytics-out=<path>]\n",
+                        "[--hostprof] [--analytics-out=<path>] "
+                        "[--fleet] [--manifest=<path>] "
+                        "[--case-timeout-ms=<n>] "
+                        "[--chaos-kill-ms=<n>] [--forensics=<dir>] "
+                        "[--no-forced-sweep]\n",
                         argv[0]);
             std::exit(0);
         } else {

@@ -17,6 +17,12 @@
  *   --seed=<n>           campaign seed (bench_robustness)
  *   --hostprof           enable the host-cycle self-profiler
  *   --analytics-out=<path>  campaign analytics JSON (forge campaign)
+ *   --fleet              crash-isolated multi-process campaign
+ *   --manifest=<path>    resumable fleet progress journal
+ *   --case-timeout-ms=<n>  per-case wall-clock deadline (fleet)
+ *   --chaos-kill-ms=<n>  fleet self-test worker killer
+ *   --forensics=<dir>    crash records + partial telemetry (fleet)
+ *   --no-forced-sweep    skip the per-loop forced speculation pass
  */
 
 #ifndef JRPM_BENCH_BENCH_UTIL_HH
@@ -59,6 +65,15 @@ struct Options
     // Observatory flags.
     bool hostprof = false;       ///< --hostprof
     std::string analyticsOut;    ///< --analytics-out=<path>
+    // Fleet orchestrator flags (bench_forge_campaign).
+    bool fleet = false;          ///< --fleet: multi-process campaign
+    std::string manifest;        ///< --manifest=<path>
+    std::uint32_t caseTimeoutMs = 120000; ///< --case-timeout-ms=<n>
+    std::uint32_t chaosKillMs = 0;        ///< --chaos-kill-ms=<n>
+    std::string workerRange;     ///< --worker-range=<lo>:<hi>:<att>
+    std::string workerReplay;    ///< --worker-replay=<file>
+    std::string forensics;       ///< --forensics=<dir>
+    bool noForcedSweep = false;  ///< --no-forced-sweep
 };
 
 /** Parses flags; handles --help and --list (both print and exit).

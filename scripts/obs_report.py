@@ -220,6 +220,22 @@ def campaign_sections(a):
                 a.get("pipelineErrors", 0), a.get("divergences", 0),
                 a.get("oracleDetected", 0), a.get("watchdogs", 0),
                 a.get("forcedRuns", 0))))))
+    if a.get("fleet"):
+        f = a["fleet"]
+        out.append("<h3>Fleet crash isolation</h3>")
+        out.append(
+            "<p>multi-process campaign%s: %s worker deaths "
+            "(%s crashes, %s timeouts), %s retries, %s quarantined, "
+            "%s reshards, %s torn manifest records</p>" % (
+                (" (resumed from manifest)"
+                 if f.get("resumed") else ""),
+                fmt_num(f.get("workerDeaths", 0)),
+                fmt_num(f.get("crashes", 0)),
+                fmt_num(f.get("timeouts", 0)),
+                fmt_num(f.get("retries", 0)),
+                fmt_num(f.get("quarantined", 0)),
+                fmt_num(f.get("reshards", 0)),
+                fmt_num(f.get("tornRecords", 0))))
     if a.get("metrics"):
         out.append("<h3>Per-metric percentiles</h3>")
         out.append(pct_table(a["metrics"]))

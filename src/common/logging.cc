@@ -65,11 +65,43 @@ panic(const char *fmt, ...)
     std::abort();
 }
 
+namespace
+{
+
+/** Depth of active ScopedFatalCapture scopes on this thread. */
+thread_local unsigned fatalCaptureDepth = 0;
+
+} // namespace
+
+ScopedFatalCapture::ScopedFatalCapture()
+{
+    ++fatalCaptureDepth;
+}
+
+ScopedFatalCapture::~ScopedFatalCapture()
+{
+    --fatalCaptureDepth;
+}
+
 void
 fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
+    if (fatalCaptureDepth > 0) {
+        // Captured: surface the message as an exception the driver
+        // turns into a per-case error result.  No abort hook — the
+        // process lives on.
+        va_list ap2;
+        va_copy(ap2, ap);
+        const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+        std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        va_end(ap2);
+        va_end(ap);
+        throw FatalError(std::string(buf.data(),
+                                     static_cast<std::size_t>(n)));
+    }
     vreport("fatal", fmt, ap);
     va_end(ap);
     runAbortHook();

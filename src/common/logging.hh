@@ -12,6 +12,7 @@
 #define JRPM_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace jrpm
@@ -21,7 +22,32 @@ namespace jrpm
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Exit with a message: the user asked for something unsupported. */
+/** What fatal() throws while a ScopedFatalCapture is active. */
+class FatalError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While an instance is alive on a thread, fatal() on that thread
+ * throws FatalError instead of exiting the process.  The batch
+ * driver arms one around each job so a single case that hits a
+ * fatal() path (a --warm=warm repository miss, an unsupported
+ * config) becomes a per-case error result instead of aborting the
+ * whole batch.  Nestable; panic() is unaffected — a broken internal
+ * invariant still aborts.
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+    ScopedFatalCapture(const ScopedFatalCapture &) = delete;
+    ScopedFatalCapture &operator=(const ScopedFatalCapture &) = delete;
+};
+
+/** Exit with a message: the user asked for something unsupported.
+ *  Under a ScopedFatalCapture, throws FatalError instead. */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 

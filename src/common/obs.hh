@@ -42,6 +42,27 @@ void failsafeFlush();
 /** Disarm without writing (the normal end-of-run export ran). */
 void disarmFailsafe();
 
+/**
+ * Extend the failsafe to fatal signals (SIGSEGV, SIGBUS, SIGABRT,
+ * SIGFPE, SIGILL): install handlers that
+ *
+ *  1. write a one-line crash record ("signal <n> pid <p>") to
+ *     @p crash_path using only async-signal-safe calls — the file is
+ *     opened (and truncated) now, while the process is healthy, so
+ *     the handler itself only write()s;
+ *  2. best-effort flush the armed --trace-out / --metrics-out
+ *     partial output (failsafeFlush() allocates, so this step is
+ *     *not* strictly async-signal-safe: a crash inside malloc can
+ *     wedge here.  Crashed fleet workers are reaped by the
+ *     supervisor's per-case timeout, which backstops exactly this);
+ *  3. restore the default disposition and re-raise, so the exit
+ *     status still reports the original signal.
+ *
+ * Calling again replaces the crash-record path.  An empty path
+ * disarms the signal handlers (dispositions are restored).
+ */
+void armCrashSignals(const std::string &crash_path);
+
 } // namespace obs
 } // namespace jrpm
 

@@ -10,9 +10,6 @@
 namespace jrpm
 {
 
-namespace
-{
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -33,6 +30,9 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
+
+namespace
+{
 
 const char *
 b2s(bool v)
@@ -146,12 +146,21 @@ loopJson(std::int32_t loop_id, const StlRuntimeStats &ls)
 class JsonParser
 {
   public:
-    JsonParser(const std::string &text) : s(text) {}
+    JsonParser(const std::string &text, const JsonLimits &lim)
+        : s(text), limits(lim)
+    {
+    }
 
     bool
     parse(JsonValue &out, std::string *err)
     {
-        const bool ok = value(out) && (skipWs(), pos == s.size());
+        bool ok;
+        if (s.size() > limits.maxBytes) {
+            error("input exceeds byte budget");
+            ok = false;
+        } else {
+            ok = value(out) && (skipWs(), pos == s.size());
+        }
         if (!ok && err)
             *err = fail.empty()
                        ? strfmt("trailing garbage at byte %zu", pos)
@@ -230,6 +239,15 @@ class JsonParser
         return true;
     }
 
+    /** Decrements the container depth on scope exit, whatever path
+     *  value() returns through. */
+    struct DepthGuard
+    {
+        std::uint32_t &depth;
+        explicit DepthGuard(std::uint32_t &d) : depth(++d) {}
+        ~DepthGuard() { --depth; }
+    };
+
     bool
     value(JsonValue &out)
     {
@@ -237,7 +255,10 @@ class JsonParser
         if (pos >= s.size())
             return error("unexpected end of input");
         const char c = s[pos];
+        if ((c == '{' || c == '[') && depth >= limits.maxDepth)
+            return error("nesting too deep");
         if (c == '{') {
+            DepthGuard guard(depth);
             ++pos;
             out.kind = JsonValue::Kind::Object;
             skipWs();
@@ -269,6 +290,7 @@ class JsonParser
             }
         }
         if (c == '[') {
+            DepthGuard guard(depth);
             ++pos;
             out.kind = JsonValue::Kind::Array;
             skipWs();
@@ -323,7 +345,9 @@ class JsonParser
     }
 
     const std::string &s;
+    const JsonLimits limits;
     std::size_t pos = 0;
+    std::uint32_t depth = 0;
     std::string fail;
 };
 
@@ -345,10 +369,11 @@ JsonValue::at(std::size_t i) const
 }
 
 bool
-jsonParse(const std::string &text, JsonValue &out, std::string *err)
+jsonParse(const std::string &text, JsonValue &out, std::string *err,
+          const JsonLimits &limits)
 {
     out = JsonValue();
-    return JsonParser(text).parse(out, err);
+    return JsonParser(text, limits).parse(out, err);
 }
 
 std::string

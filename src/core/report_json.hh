@@ -9,6 +9,8 @@
 #ifndef JRPM_CORE_REPORT_JSON_HH
 #define JRPM_CORE_REPORT_JSON_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -45,10 +47,30 @@ struct JsonValue
     const JsonValue &at(std::size_t i) const;
 };
 
+/**
+ * Defensive bounds on what jsonParse() will accept.  Campaign
+ * manifests and analytics files are parsed back after crashes, so a
+ * corrupt file must fail cleanly instead of exhausting the stack
+ * (deep nesting recurses) or memory (unbounded input).
+ */
+struct JsonLimits
+{
+    /** Reject documents larger than this before parsing anything. */
+    std::size_t maxBytes = 64u << 20;
+    /** Maximum container ([ / {) nesting depth. */
+    std::uint32_t maxDepth = 192;
+};
+
 /** Parse one JSON document.  @return false (and *err) on malformed
- *  input, including trailing garbage. */
+ *  input, including trailing garbage, over-deep nesting and inputs
+ *  exceeding @p limits. */
 bool jsonParse(const std::string &text, JsonValue &out,
-               std::string *err = nullptr);
+               std::string *err = nullptr,
+               const JsonLimits &limits = {});
+
+/** Escape a string for embedding in a JSON document (quotes not
+ *  included). */
+std::string jsonEscape(const std::string &s);
 
 /** One report as a JSON object (phases, selections, speedups,
  *  oracle verdict, crystal provenance). */

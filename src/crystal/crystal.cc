@@ -1,12 +1,17 @@
 #include "crystal.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
@@ -465,6 +470,38 @@ CrystalEntry::deserialize(const std::string &text, CrystalEntry &out,
 
 // ---- repository -------------------------------------------------------
 
+namespace
+{
+
+/** RAII advisory flock() on the repository lock file.  A fleet of
+ *  worker processes warming from one shared directory must not read
+ *  an entry mid-rename or race two writers on the same tmp name; the
+ *  in-process mutex alone cannot see across fork boundaries.  A -1 fd
+ *  (lock file unavailable) degrades to a no-op. */
+struct ScopedFlock
+{
+    int fd;
+
+    ScopedFlock(int fd, int op) : fd(fd)
+    {
+        if (fd >= 0)
+            while (::flock(fd, op) != 0 && errno == EINTR) {}
+    }
+
+    ~ScopedFlock()
+    {
+        if (fd >= 0)
+            ::flock(fd, LOCK_UN);
+    }
+};
+
+/** Writer temp files older than this are considered abandoned by a
+ *  crashed process and swept.  Generous: a live store holds its tmp
+ *  file for milliseconds. */
+constexpr auto kStaleTmpAge = std::chrono::seconds(60);
+
+} // namespace
+
 CrystalRepo::CrystalRepo(std::string dir) : root(std::move(dir))
 {
     std::error_code ec;
@@ -472,6 +509,38 @@ CrystalRepo::CrystalRepo(std::string dir) : root(std::move(dir))
     if (ec)
         fatal("cannot create crystal repository '%s': %s",
               root.c_str(), ec.message().c_str());
+    lockFd = ::open((root + "/.lock").c_str(),
+                    O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (lockFd < 0)
+        warn("crystal: cannot create '%s/.lock'; inter-process "
+             "locking disabled",
+             root.c_str());
+
+    // Sweep stale "*.tmp.*" leftovers from writers that died between
+    // open and rename.  Only files quietly aging for a while are
+    // removed: a concurrent live store's fresh tmp file survives.
+    ScopedFlock iplock(lockFd, LOCK_EX);
+    const auto now = fs::file_time_type::clock::now();
+    for (const auto &de : fs::directory_iterator(root, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        std::error_code tec;
+        const auto mtime = fs::last_write_time(de.path(), tec);
+        if (tec || now - mtime < kStaleTmpAge)
+            continue;
+        if (fs::remove(de.path(), tec) && !tec) {
+            warn("crystal: swept stale temp file '%s'",
+                 name.c_str());
+            ++counters.tmpSwept;
+        }
+    }
+}
+
+CrystalRepo::~CrystalRepo()
+{
+    if (lockFd >= 0)
+        ::close(lockFd);
 }
 
 std::string
@@ -486,6 +555,7 @@ CrystalRepo::lookup(std::uint64_t fingerprint, CrystalEntry &out)
 {
     std::lock_guard<std::mutex> lock(mu);
     const std::string path = pathFor(fingerprint);
+    ScopedFlock iplock(lockFd, LOCK_SH);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f) {
         ++counters.misses;
@@ -505,6 +575,17 @@ CrystalRepo::lookup(std::uint64_t fingerprint, CrystalEntry &out)
              readError ? "read error" : why.c_str());
         ++counters.rejects;
         ++counters.misses;
+        // Quarantine the unreadable file: rename it aside so the
+        // next lookup goes straight to a clean miss (and re-store)
+        // instead of re-parsing the same poison on every case of a
+        // fleet campaign.  Keep the bytes for forensics.
+        if (!readError &&
+            std::rename(path.c_str(), (path + ".corrupt").c_str())
+                == 0) {
+            warn("crystal: quarantined corrupt entry as '%s.corrupt'",
+                 path.c_str());
+            ++counters.quarantined;
+        }
         return false;
     }
     ++counters.hits;
@@ -517,9 +598,16 @@ CrystalRepo::store(const CrystalEntry &entry)
 {
     std::lock_guard<std::mutex> lock(mu);
     const std::string path = pathFor(entry.fingerprint());
+    ScopedFlock iplock(lockFd, LOCK_EX);
+    // Unique per process *and* per store, so fleet workers sharing a
+    // directory never collide on the temp name.
     const std::string tmp =
         path + strfmt(".tmp.%016" PRIx64,
-                      Fnv1a().str(path).u64(counters.stores).value());
+                      Fnv1a()
+                          .str(path)
+                          .u64(counters.stores)
+                          .u64(static_cast<std::uint64_t>(::getpid()))
+                          .value());
     const std::string text = entry.serialize();
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f) {
@@ -542,6 +630,7 @@ bool
 CrystalRepo::invalidate(std::uint64_t fingerprint)
 {
     std::lock_guard<std::mutex> lock(mu);
+    ScopedFlock iplock(lockFd, LOCK_EX);
     const bool existed =
         std::remove(pathFor(fingerprint).c_str()) == 0;
     if (existed)

@@ -28,7 +28,14 @@
  *
  * The repository is safe to share between the batch driver's
  * concurrent pipelines: lookups and stores serialize on an internal
- * mutex and stores are atomic (temp file + rename).
+ * mutex and stores are atomic (temp file + rename).  It is also safe
+ * to share between *processes* (fleet workers all warm from one
+ * repository): operations additionally take an advisory flock() on
+ * `<dir>/.lock` — shared for lookups, exclusive for stores and
+ * invalidations.  Unreadable entries are quarantined by renaming
+ * them to `<name>.corrupt` so a poisoned file cannot keep a whole
+ * fleet rejecting on every case, and stale `*.tmp.*` leftovers from
+ * crashed writers are swept when the repository is opened.
  */
 
 #ifndef JRPM_CRYSTAL_CRYSTAL_HH
@@ -149,6 +156,8 @@ struct CrystalStats
     std::uint64_t stores = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t rejects = 0; ///< files present but unreadable
+    std::uint64_t quarantined = 0; ///< rejects renamed to .corrupt
+    std::uint64_t tmpSwept = 0; ///< stale writer tmp files removed
 };
 
 /**
@@ -159,8 +168,10 @@ struct CrystalStats
 class CrystalRepo
 {
   public:
-    /** Opens (and creates if needed) the repository directory. */
+    /** Opens (and creates if needed) the repository directory; sweeps
+     *  stale writer temp files left by crashed processes. */
     explicit CrystalRepo(std::string dir);
+    ~CrystalRepo();
 
     /**
      * Load the entry for a fingerprint.
@@ -191,6 +202,11 @@ class CrystalRepo
     std::string root;
     mutable std::mutex mu;
     CrystalStats counters;
+    /** fd of `<root>/.lock`, flock()ed around disk operations so
+     *  separate processes sharing the directory serialize too;
+     *  -1 when the lock file cannot be created (degrades to
+     *  intra-process locking only). */
+    int lockFd = -1;
 };
 
 } // namespace jrpm

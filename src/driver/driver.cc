@@ -80,6 +80,11 @@ BatchDriver::run(std::vector<DriverJob> jobs)
                        job.workload.name.c_str());
             const auto t0 = std::chrono::steady_clock::now();
             try {
+                // Contain fatal() too: a single case hitting a
+                // fatal path (warm-miss under --warm=warm, an
+                // unsupported config) must become a per-case error,
+                // not exit the process under every sibling.
+                ScopedFatalCapture capture;
                 if (job.custom) {
                     res.report = job.custom();
                 } else {

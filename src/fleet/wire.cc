@@ -1,0 +1,153 @@
+#include "wire.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/report_json.hh"
+
+namespace jrpm
+{
+namespace fleet
+{
+
+std::string
+caseResultJson(const forge::CaseResult &cr)
+{
+    std::string j = "{";
+    j += strfmt("\"seed\":\"%016llx\",\"axes\":%u,\"stmts\":%u,",
+                static_cast<unsigned long long>(cr.seed), cr.axes,
+                cr.stmts);
+    j += strfmt("\"ok\":%s,\"error\":\"%s\",",
+                cr.ok ? "true" : "false",
+                jsonEscape(cr.error).c_str());
+    j += strfmt("\"pipelineDiverged\":%s,\"forcedLoops\":%u,"
+                "\"forcedDiverged\":%u,\"watchdog\":%s,"
+                "\"silent\":%s,\"faultsInjected\":%u,"
+                "\"detail\":\"%s\",",
+                cr.pipelineDiverged ? "true" : "false",
+                cr.forcedLoops, cr.forcedDiverged,
+                cr.watchdog ? "true" : "false",
+                cr.silent ? "true" : "false", cr.faultsInjected,
+                jsonEscape(cr.detail).c_str());
+    j += strfmt("\"speedup\":%.17g,\"seqCycles\":%" PRIu64
+                ",\"tlsCycles\":%" PRIu64 ",\"violations\":%" PRIu64
+                ",\"commits\":%" PRIu64 ",\"overflowStalls\":%" PRIu64
+                ",\"specWindows\":%" PRIu64
+                ",\"specWindowInsts\":%" PRIu64
+                ",\"specSlowSteps\":%" PRIu64
+                ",\"forwardedLoads\":%" PRIu64
+                ",\"meanBurst\":%.17g,\"wallMs\":%.17g,",
+                cr.speedup, cr.seqCycles, cr.tlsCycles, cr.violations,
+                cr.commits, cr.overflowStalls, cr.specWindows,
+                cr.specWindowInsts, cr.specSlowSteps,
+                cr.forwardedLoads, cr.meanBurst, cr.wallMs);
+    j += "\"squashCauses\":[";
+    for (std::size_t c = 0; c < kNumSquashCauses; ++c)
+        j += strfmt(c ? ",%" PRIu64 : "%" PRIu64, cr.squashCauses[c]);
+    j += "],\"violationsByClass\":[";
+    for (std::size_t c = 0; c < kNumAddrClasses; ++c)
+        j += strfmt(c ? ",%" PRIu64 : "%" PRIu64,
+                    cr.violationsByClass[c]);
+    j += "],\"loopSquashes\":[";
+    bool first = true;
+    for (const auto &[loop_id, sq] : cr.loopSquashes) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += strfmt("[%d,%" PRIu64 "]", loop_id, sq);
+    }
+    j += "]}";
+    return j;
+}
+
+namespace
+{
+
+std::uint64_t
+u64Of(const JsonValue &v)
+{
+    return static_cast<std::uint64_t>(v.number());
+}
+
+} // namespace
+
+bool
+caseResultFromJson(const std::string &text, forge::CaseResult &out,
+                   std::string *err)
+{
+    JsonValue v;
+    if (!jsonParse(text, v, err))
+        return false;
+    auto fail = [&](const char *why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (v.kind != JsonValue::Kind::Object)
+        return fail("case record is not an object");
+    if (v["seed"].kind != JsonValue::Kind::String)
+        return fail("case record has no seed");
+
+    forge::CaseResult cr;
+    char *end = nullptr;
+    cr.seed = std::strtoull(v["seed"].str.c_str(), &end, 16);
+    if (end == v["seed"].str.c_str() || *end)
+        return fail("unparseable seed");
+    cr.axes = static_cast<std::uint32_t>(v["axes"].number());
+    cr.stmts = static_cast<std::uint32_t>(v["stmts"].number());
+    cr.ok = v["ok"].boolean();
+    cr.error = v["error"].str;
+    cr.pipelineDiverged = v["pipelineDiverged"].boolean();
+    cr.forcedLoops =
+        static_cast<std::uint32_t>(v["forcedLoops"].number());
+    cr.forcedDiverged =
+        static_cast<std::uint32_t>(v["forcedDiverged"].number());
+    cr.watchdog = v["watchdog"].boolean();
+    cr.silent = v["silent"].boolean();
+    cr.faultsInjected =
+        static_cast<std::uint32_t>(v["faultsInjected"].number());
+    cr.detail = v["detail"].str;
+    cr.speedup = v["speedup"].number();
+    cr.seqCycles = u64Of(v["seqCycles"]);
+    cr.tlsCycles = u64Of(v["tlsCycles"]);
+    cr.violations = u64Of(v["violations"]);
+    cr.commits = u64Of(v["commits"]);
+    cr.overflowStalls = u64Of(v["overflowStalls"]);
+    cr.specWindows = u64Of(v["specWindows"]);
+    cr.specWindowInsts = u64Of(v["specWindowInsts"]);
+    cr.specSlowSteps = u64Of(v["specSlowSteps"]);
+    cr.forwardedLoads = u64Of(v["forwardedLoads"]);
+    cr.meanBurst = v["meanBurst"].number();
+    cr.wallMs = v["wallMs"].number();
+
+    const JsonValue &sc = v["squashCauses"];
+    if (sc.kind != JsonValue::Kind::Array ||
+        sc.items.size() != kNumSquashCauses)
+        return fail("bad squashCauses array");
+    for (std::size_t c = 0; c < kNumSquashCauses; ++c)
+        cr.squashCauses[c] = u64Of(sc.at(c));
+    const JsonValue &vc = v["violationsByClass"];
+    if (vc.kind != JsonValue::Kind::Array ||
+        vc.items.size() != kNumAddrClasses)
+        return fail("bad violationsByClass array");
+    for (std::size_t c = 0; c < kNumAddrClasses; ++c)
+        cr.violationsByClass[c] = u64Of(vc.at(c));
+    const JsonValue &ls = v["loopSquashes"];
+    if (ls.kind != JsonValue::Kind::Array)
+        return fail("bad loopSquashes array");
+    for (const JsonValue &pair : ls.items) {
+        if (pair.kind != JsonValue::Kind::Array ||
+            pair.items.size() != 2)
+            return fail("bad loopSquashes pair");
+        cr.loopSquashes.emplace_back(
+            static_cast<std::int32_t>(pair.at(0).number()),
+            u64Of(pair.at(1)));
+    }
+
+    out = std::move(cr);
+    return true;
+}
+
+} // namespace fleet
+} // namespace jrpm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Wire format shared by the fleet supervisor, its workers and the
+ * campaign manifest: a forge::CaseResult serialized as one line of
+ * JSON.  Workers stream finished cases to the supervisor over their
+ * stdout pipe; the supervisor appends the same line to the journaled
+ * manifest, so a record written once is readable by every consumer
+ * (resume, analytics, scripts/fleet_manifest.py).
+ *
+ * The format is self-describing JSON rather than the corpus' token
+ * text because records embed free-form error/detail strings from
+ * crashed runs, and a reader must never trust a torn record — the
+ * manifest wraps every line in a checksum, and caseResultFromJson()
+ * rejects anything structurally off.
+ */
+
+#ifndef JRPM_FLEET_WIRE_HH
+#define JRPM_FLEET_WIRE_HH
+
+#include <string>
+
+#include "forge/campaign.hh"
+
+namespace jrpm
+{
+namespace fleet
+{
+
+/** One CaseResult as a single-line JSON object (no trailing
+ *  newline). */
+std::string caseResultJson(const forge::CaseResult &cr);
+
+/** Parse caseResultJson() output.  @return false (and *err) on
+ *  malformed or structurally wrong input. */
+bool caseResultFromJson(const std::string &text,
+                        forge::CaseResult &out,
+                        std::string *err = nullptr);
+
+} // namespace fleet
+} // namespace jrpm
+
+#endif // JRPM_FLEET_WIRE_HH

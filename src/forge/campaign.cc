@@ -133,6 +133,52 @@ runCase(const ScenarioSpec &spec, const JrpmConfig &base,
     return runCaseImpl(spec, base, forced_sweep, nullptr);
 }
 
+void
+tallyCase(CampaignResult &res, const CaseResult &cr,
+          bool faults_active)
+{
+    for (std::uint32_t a = 0; a < kNumAxes; ++a)
+        if (cr.axes & (1u << a))
+            ++res.axisScenarios[a];
+    if (!cr.ok)
+        ++res.pipelineErrors;
+    if (cr.pipelineDiverged || cr.forcedDiverged)
+        ++res.divergences;
+    if (faults_active && (cr.pipelineDiverged || cr.forcedDiverged))
+        ++res.oracleDetected;
+    if (cr.watchdog)
+        ++res.watchdogs;
+    res.forcedRuns += cr.forcedLoops;
+}
+
+CampaignFailure
+processFailure(const CampaignConfig &cfg, const ScenarioSpec &spec,
+               const CaseResult &cr, bool faults_active)
+{
+    CampaignFailure f;
+    f.result = cr;
+    f.original = spec;
+    f.shrunk = spec;
+    if (cfg.shrinkFailures && cr.ok) {
+        ShrinkOptions so;
+        so.maxProbes = cfg.shrinkProbes;
+        const ShrinkResult sr = shrinkScenario(
+            spec,
+            [&](const ScenarioSpec &cand) {
+                return runCase(cand, cfg.base, cfg.forcedSweep)
+                    .failing(faults_active);
+            },
+            so);
+        f.shrunk = sr.spec;
+        f.shrinkProbes = sr.probes;
+    }
+    if (!cfg.corpusOut.empty()) {
+        CorpusEntry e = makeCorpusEntry(f.shrunk);
+        f.corpusPath = writeCorpusEntry(cfg.corpusOut, e);
+    }
+    return f;
+}
+
 CampaignResult
 runCampaign(const CampaignConfig &cfg)
 {
@@ -179,45 +225,13 @@ runCampaign(const CampaignConfig &cfg)
             cr.ok = false;
             cr.error = dres[i].error;
         }
-        for (std::uint32_t a = 0; a < kNumAxes; ++a)
-            if (cr.axes & (1u << a))
-                ++res.axisScenarios[a];
-        if (!cr.ok)
-            ++res.pipelineErrors;
-        if (cr.pipelineDiverged || cr.forcedDiverged)
-            ++res.divergences;
-        if (faultsActive &&
-            (cr.pipelineDiverged || cr.forcedDiverged))
-            ++res.oracleDetected;
-        if (cr.watchdog)
-            ++res.watchdogs;
-        res.forcedRuns += cr.forcedLoops;
+        tallyCase(res, cr, faultsActive);
 
         if (!cr.failing(faultsActive))
             continue;
         ++res.failures;
-        CampaignFailure f;
-        f.result = cr;
-        f.original = specs[i];
-        f.shrunk = specs[i];
-        if (cfg.shrinkFailures && cr.ok) {
-            ShrinkOptions so;
-            so.maxProbes = cfg.shrinkProbes;
-            const ShrinkResult sr = shrinkScenario(
-                specs[i],
-                [&](const ScenarioSpec &cand) {
-                    return runCase(cand, cfg.base, cfg.forcedSweep)
-                        .failing(faultsActive);
-                },
-                so);
-            f.shrunk = sr.spec;
-            f.shrinkProbes = sr.probes;
-        }
-        if (!cfg.corpusOut.empty()) {
-            CorpusEntry e = makeCorpusEntry(f.shrunk);
-            f.corpusPath = writeCorpusEntry(cfg.corpusOut, e);
-        }
-        res.failing.push_back(std::move(f));
+        res.failing.push_back(
+            processFailure(cfg, specs[i], cr, faultsActive));
     }
 
     auto &reg = MetricsRegistry::global();
@@ -431,6 +445,19 @@ campaignAnalyticsJson(const CampaignConfig &cfg,
     }
     j += "],";
 
+    // Crash-isolation tallies from the fleet orchestrator (absent
+    // for in-process campaigns, so old readers see no change).
+    if (res.fleet.active) {
+        const FleetTallies &ft = res.fleet;
+        j += strfmt("\"fleet\":{\"resumed\":%s,\"workerDeaths\":%u,"
+                    "\"crashes\":%u,\"timeouts\":%u,\"retries\":%u,"
+                    "\"quarantined\":%u,\"reshards\":%u,"
+                    "\"tornRecords\":%u},",
+                    ft.resumed ? "true" : "false", ft.workerDeaths,
+                    ft.crashes, ft.timeouts, ft.retries,
+                    ft.quarantined, ft.reshards, ft.tornRecords);
+    }
+
     // Host-cycle attribution of the campaign process (empty array
     // when the profiler is off or compiled out).
     if (hostprof::enabled())
@@ -472,6 +499,12 @@ CampaignResult::summary() const
                     axisName(static_cast<StressAxis>(1u << a)),
                     axisScenarios[a]);
     s += "\n";
+    if (fleet.active)
+        s += strfmt("fleet: %u worker deaths (%u crash, %u timeout), "
+                    "%u retries, %u quarantined, %u reshards%s\n",
+                    fleet.workerDeaths, fleet.crashes, fleet.timeouts,
+                    fleet.retries, fleet.quarantined, fleet.reshards,
+                    fleet.resumed ? ", resumed from manifest" : "");
     for (const CampaignFailure &f : failing) {
         s += strfmt("  FAIL seed 0x%016llx (%s): %s\n",
                     static_cast<unsigned long long>(f.result.seed),

@@ -106,6 +106,21 @@ struct CampaignFailure
     std::string corpusPath;    ///< "" unless persisted
 };
 
+/** Crash-isolation tallies from a fleet (multi-process) campaign;
+ *  all zero for an in-process one. */
+struct FleetTallies
+{
+    bool active = false;        ///< ran under the fleet orchestrator
+    bool resumed = false;       ///< picked up an existing manifest
+    std::uint32_t workerDeaths = 0; ///< workers lost to signals
+    std::uint32_t crashes = 0;      ///< cases that killed a worker
+    std::uint32_t timeouts = 0;     ///< cases over the deadline
+    std::uint32_t retries = 0;      ///< crash/timeout retry launches
+    std::uint32_t quarantined = 0;  ///< poison cases (died twice)
+    std::uint32_t reshards = 0;     ///< ranges re-queued after death
+    std::uint32_t tornRecords = 0;  ///< manifest lines skipped
+};
+
 struct CampaignResult
 {
     std::uint32_t cases = 0;
@@ -119,6 +134,7 @@ struct CampaignResult
     std::array<std::uint32_t, kNumAxes> axisScenarios{};
     std::vector<CaseResult> results;   ///< input (seed) order
     std::vector<CampaignFailure> failing;
+    FleetTallies fleet;
 
     bool clean() const { return failures == 0; }
     /** Multi-line human-readable summary. */
@@ -129,6 +145,25 @@ struct CampaignResult
  *  classify it.  Exposed for the shrinker predicate and tests. */
 CaseResult runCase(const ScenarioSpec &spec, const JrpmConfig &base,
                    bool forced_sweep);
+
+/** Fold one case into the campaign counters (everything except
+ *  `failures`/`failing`, which shrink separately).  Shared between
+ *  the in-process campaign and the fleet supervisor. */
+void tallyCase(CampaignResult &res, const CaseResult &cr,
+               bool faults_active);
+
+/**
+ * Turn one failing case into repro artifacts: ddmin-shrink it (when
+ * @p cfg.shrinkFailures and the case completed) and persist the
+ * shrunk scenario into @p cfg.corpusOut.  The in-process shrink
+ * re-runs candidates in this process — callers with crash-prone
+ * cases (the fleet's quarantined ones) must shrink out of process
+ * instead.
+ */
+CampaignFailure processFailure(const CampaignConfig &cfg,
+                               const ScenarioSpec &spec,
+                               const CaseResult &cr,
+                               bool faults_active);
 
 /** Run a full campaign (see file header). */
 CampaignResult runCampaign(const CampaignConfig &cfg);

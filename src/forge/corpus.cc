@@ -216,17 +216,23 @@ writeCorpusEntry(const std::string &dir, const CorpusEntry &entry)
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     const std::string path = dir + "/" + entry.fileName();
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Write-then-rename: a writer killed mid-write leaves only a
+    // "*.scenario.tmp" file, which listCorpus() never picks up, never
+    // a half-written entry under the real name.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
-        warn("cannot open corpus file '%s'", path.c_str());
+        warn("cannot open corpus file '%s'", tmp.c_str());
         return "";
     }
     const std::string text = serializeCorpusEntry(entry);
     const bool ok =
-        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fflush(f) == 0;
     std::fclose(f);
-    if (!ok) {
-        warn("short write to corpus file '%s'", path.c_str());
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot persist corpus file '%s'", path.c_str());
+        std::remove(tmp.c_str());
         return "";
     }
     return path;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -302,6 +303,68 @@ TEST(CrystalRepo, RejectsDamagedFilesOnDisk)
     CrystalEntry out;
     EXPECT_FALSE(repo.lookup(e.fingerprint(), out));
     EXPECT_GE(repo.stats().rejects, 1u);
+}
+
+TEST(CrystalRepo, QuarantinesCorruptEntriesAside)
+{
+    TempDir td;
+    CrystalRepo repo(td.path.string());
+    const CrystalEntry e = sampleEntry();
+    ASSERT_TRUE(repo.store(e));
+
+    const std::string path = repo.pathFor(e.fingerprint());
+    {
+        std::ofstream outf(path, std::ios::trunc);
+        outf << "jrpm-crystal v1\ngarbage from a torn write\n";
+    }
+
+    // First lookup rejects and moves the poison aside...
+    CrystalEntry out;
+    EXPECT_FALSE(repo.lookup(e.fingerprint(), out));
+    EXPECT_EQ(repo.stats().rejects, 1u);
+    EXPECT_EQ(repo.stats().quarantined, 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+
+    // ...so the second lookup is a clean miss, not another reject,
+    // and a fresh store + lookup works again.
+    EXPECT_FALSE(repo.lookup(e.fingerprint(), out));
+    EXPECT_EQ(repo.stats().rejects, 1u);
+    ASSERT_TRUE(repo.store(e));
+    EXPECT_TRUE(repo.lookup(e.fingerprint(), out));
+    EXPECT_EQ(out.workload, e.workload);
+}
+
+TEST(CrystalRepo, SweepsOnlyStaleWriterTempFiles)
+{
+    TempDir td;
+    const CrystalEntry e = sampleEntry();
+    {
+        CrystalRepo first(td.path.string());
+        ASSERT_TRUE(first.store(e));
+    }
+
+    // A crashed writer's leftover, quietly aging...
+    const std::string stale =
+        td.path.string() + "/0123456789abcdef.crystal.tmp.dead";
+    // ...and a fresh one a live writer could still be filling.
+    const std::string fresh =
+        td.path.string() + "/fedcba9876543210.crystal.tmp.beef";
+    for (const std::string &p : {stale, fresh})
+        std::ofstream(p) << "partial";
+    std::filesystem::last_write_time(
+        stale, std::filesystem::file_time_type::clock::now() -
+                   std::chrono::minutes(10));
+
+    CrystalRepo repo(td.path.string());
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    EXPECT_TRUE(std::filesystem::exists(fresh));
+    EXPECT_EQ(repo.stats().tmpSwept, 1u);
+
+    // The sweep never touched the real entry.
+    CrystalEntry out;
+    EXPECT_TRUE(repo.lookup(e.fingerprint(), out));
+    EXPECT_EQ(repo.size(), 1u);
 }
 
 TEST(CrystalRepo, WarmModeParsing)

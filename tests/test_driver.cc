@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 
+#include "common/logging.hh"
 #include "driver/driver.hh"
 #include "workloads/workloads.hh"
 
@@ -168,6 +170,57 @@ TEST(BatchDriver, DemotesWildMispredictions)
     EXPECT_FALSE(repo.lookup(coldRep.fingerprint, gone));
     JrpmReport third = JrpmSystem(w, cfg).run();
     EXPECT_FALSE(third.warmStart);
+}
+
+TEST(BatchDriver, OneFailingJobDoesNotAbortTheBatch)
+{
+    // Job 1 throws, job 2 hits a fatal() path (a --warm=warm miss
+    // on an empty repository).  Both must come back as per-case
+    // error results while every sibling still completes.
+    TempDir td;
+    const auto ws = quickWorkloads();
+    JrpmConfig cfg;
+
+    std::vector<DriverJob> jobs = jobsFor(ws, cfg);
+    jobs[1].custom = []() -> JrpmReport {
+        throw std::runtime_error("scenario exploded");
+    };
+    CrystalRepo emptyRepo(td.path.string());
+    jobs[2].cfg.crystal.repo = &emptyRepo;
+    jobs[2].cfg.crystal.warm = WarmMode::Warm;
+
+    DriverConfig dc;
+    dc.jobs = 4;
+    const auto res = BatchDriver(dc).run(std::move(jobs));
+
+    ASSERT_EQ(res.size(), ws.size());
+    EXPECT_FALSE(res[1].ok);
+    EXPECT_NE(res[1].error.find("scenario exploded"),
+              std::string::npos);
+    EXPECT_FALSE(res[2].ok);
+    EXPECT_NE(res[2].error.find("--warm=warm"), std::string::npos)
+        << res[2].error;
+    for (std::size_t i : {std::size_t(0), std::size_t(3)}) {
+        SCOPED_TRACE(i);
+        EXPECT_TRUE(res[i].ok) << res[i].error;
+        EXPECT_TRUE(res[i].report.seqMain.halted);
+    }
+}
+
+TEST(FatalCapture, ThrowsInsteadOfExitingAndUnwinds)
+{
+    EXPECT_THROW(
+        {
+            ScopedFatalCapture capture;
+            fatal("captured %d", 42);
+        },
+        FatalError);
+    try {
+        ScopedFatalCapture capture;
+        fatal("captured %d", 42);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "captured 42");
+    }
 }
 
 TEST(BatchDriver, EmptyBatchAndOwnedRepo)

@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "core/jrpm.hh"
@@ -327,6 +331,43 @@ TEST(ForgeCorpus, FileRoundTripAndListing)
     EXPECT_TRUE(back.spec == e.spec);
     EXPECT_FALSE(forge::readCorpusEntry(dir + "/missing.scenario",
                                         back, &err));
+}
+
+TEST(ForgeCorpus, TornWritesAreInvisibleOrRejectedNotFatal)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/forge-corpus-torn";
+    std::filesystem::create_directories(dir);
+    const CorpusEntry good =
+        forge::makeCorpusEntry(forge::generate(0x7042),
+                               /*with_exit=*/false);
+    const std::string goodPath = forge::writeCorpusEntry(dir, good);
+    ASSERT_FALSE(goodPath.empty());
+
+    // A writer killed before the atomic rename leaves only the
+    // "*.scenario.tmp" file — listCorpus() must not surface it.
+    const std::string text = serializeCorpusEntry(good);
+    std::ofstream(dir + "/forge-ffffffffffffffff.scenario.tmp")
+        << text.substr(0, text.size() / 3);
+
+    // A file truncated *after* rename (bit rot, torn copy) is listed
+    // but must fail its checksum on load — an error, never a crash.
+    const std::string torn = dir + "/forge-eeeeeeeeeeeeeeee.scenario";
+    std::ofstream(torn) << text.substr(0, text.size() / 2);
+
+    auto files = forge::listCorpus(dir);
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_NE(std::find(files.begin(), files.end(), torn),
+              files.end());
+    EXPECT_NE(std::find(files.begin(), files.end(), goodPath),
+              files.end());
+
+    CorpusEntry back;
+    std::string err;
+    EXPECT_FALSE(forge::readCorpusEntry(torn, back, &err));
+    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+    EXPECT_TRUE(forge::readCorpusEntry(goodPath, back, &err)) << err;
+    EXPECT_TRUE(back.spec == good.spec);
 }
 
 // ---- starter corpus replay -------------------------------------------

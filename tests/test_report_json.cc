@@ -156,6 +156,48 @@ TEST(ReportJson, ParserRejectsMalformedInput)
     EXPECT_FALSE(jsonParse("{\"a\" 1}", v, &err));
 }
 
+TEST(ReportJson, DepthLimitRejectsDeepNestingCleanly)
+{
+    // A corrupt manifest full of open brackets must fail with a
+    // diagnostic, not blow the stack.
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(jsonParse(std::string(100'000, '['), v, &err));
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos)
+        << err;
+    EXPECT_FALSE(
+        jsonParse(std::string(100'000, '[') + "{\"a\":", v, &err));
+
+    std::string alternating;
+    for (int i = 0; i < 50'000; ++i)
+        alternating += "{\"k\":[";
+    EXPECT_FALSE(jsonParse(alternating, v, &err));
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos)
+        << err;
+
+    // Nesting up to the configured limit still parses.
+    JsonLimits lim;
+    lim.maxDepth = 8;
+    std::string ok8 = "[[[[[[[[ 1 ]]]]]]]]";
+    EXPECT_TRUE(jsonParse(ok8, v, &err, lim)) << err;
+    std::string deep9 = "[[[[[[[[[ 1 ]]]]]]]]]";
+    EXPECT_FALSE(jsonParse(deep9, v, &err, lim));
+}
+
+TEST(ReportJson, ByteBudgetRejectsOversizedInput)
+{
+    JsonLimits lim;
+    lim.maxBytes = 64;
+    JsonValue v;
+    std::string err;
+    std::string big = "{\"pad\":\"" + std::string(128, 'x') + "\"}";
+    EXPECT_FALSE(jsonParse(big, v, &err, lim));
+    EXPECT_NE(err.find("byte budget"), std::string::npos) << err;
+    // The same document parses once the budget admits it.
+    lim.maxBytes = big.size();
+    EXPECT_TRUE(jsonParse(big, v, &err, lim)) << err;
+}
+
 TEST(ReportJson, PrimitivesAndEscapes)
 {
     JsonValue v;
