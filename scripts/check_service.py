@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI gate over a bench_service run (BENCH_service.json).
+
+bench_service drives an in-process Jrpm service with open-loop
+loopback clients and verifies every result against the batch
+driver's reportJson() bytes.  This script asserts the run's
+invariants so a regression in the wire protocol, the work-stealing
+scheduler or the pipeline integration fails CI:
+
+ * zero protocol errors — every frame decoded and every response was
+   a typed result/busy/shutdown (torn frames, garbage or unexpected
+   kinds count here);
+ * zero byte mismatches — service results are byte-identical to the
+   batch driver (the determinism contract);
+ * zero fatal clients and zero lost responses;
+ * a minimum completed-request count (the server actually ran work);
+ * a p99 latency ceiling — generous by default (queueing under an
+   open loop is expected, the admission cap bounds it) but low
+   enough to catch a stalled scheduler or a blocked event loop.
+
+Usage:
+    bench_service --clients=64 --duration-ms=10000 \
+        --out=BENCH_service.json
+    scripts/check_service.py BENCH_service.json \
+        [--min-results=200] [--max-p99-ms=10000]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("result", help="bench_service --out JSON")
+    ap.add_argument("--min-results", type=int, default=200,
+                    help="minimum completed submissions "
+                    "(default 200)")
+    ap.add_argument("--max-p99-ms", type=float, default=10000.0,
+                    help="end-to-end p99 latency ceiling in ms "
+                    "(default 10000)")
+    args = ap.parse_args()
+
+    with open(args.result) as f:
+        r = json.load(f)
+
+    failures = []
+
+    def check(cond, msg):
+        if cond:
+            print(f"ok:   {msg}")
+        else:
+            failures.append(msg)
+            print(f"FAIL: {msg}")
+
+    check(r["protocolErrors"] == 0,
+          f"zero protocol errors (got {r['protocolErrors']})")
+    check(r["byteMismatches"] == 0,
+          "all results byte-identical to the batch driver "
+          f"(got {r['byteMismatches']} mismatches)")
+    check(r["fatalClients"] == 0,
+          f"no client died (got {r['fatalClients']})")
+    check(r["scheduler"]["taskFaults"] == 0,
+          "no exception escaped a scheduler task "
+          f"(got {r['scheduler']['taskFaults']})")
+    check(r["server"]["pipelineErrors"] == 0,
+          "no pipeline run failed "
+          f"(got {r['server']['pipelineErrors']})")
+    check(r["results"] >= args.min_results,
+          f"at least {args.min_results} completed requests "
+          f"(got {r['results']})")
+    check(r["results"] + r["busyRejects"] == r["sent"],
+          "every submission answered: "
+          f"{r['results']} results + {r['busyRejects']} busy "
+          f"== {r['sent']} sent")
+    p99 = r["latencyMs"]["p99"]
+    check(p99 <= args.max_p99_ms,
+          f"p99 {p99:.1f}ms <= {args.max_p99_ms:.0f}ms")
+
+    lat = r["latencyMs"]
+    print(f"\nservice: {r['results']} results "
+          f"({r['throughputPerSec']:.1f}/s) over "
+          f"{r['config']['clients']} clients; latency p50 "
+          f"{lat['p50']:.1f}ms p99 {lat['p99']:.1f}ms p999 "
+          f"{lat['p999']:.1f}ms; {r['busyRejects']} busy rejects; "
+          f"{r['scheduler']['steals']} steals")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("\nall service checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Command-line client for Jrpm-as-a-service.
+
+Speaks the length-prefixed JSON frame protocol (4-byte big-endian
+payload length + one JSON object, protocol version 1) to a running
+service — start one with::
+
+    build/bench/bench_service --serve
+    # prints: jrpm-service listening on 127.0.0.1:<port>
+
+Then::
+
+    scripts/jrpm_client.py --port=<port> submit --workload=BitOps
+    scripts/jrpm_client.py --port=<port> submit --seed=0xbe7c0 \
+        --deadline-ms=5000
+    scripts/jrpm_client.py --port=<port> stats
+    scripts/jrpm_client.py --port=<port> status --target=1
+    scripts/jrpm_client.py --port=<port> shutdown
+
+Responses are printed as pretty JSON.  A submit blocks until its
+result frame arrives and exits non-zero on a typed error (busy,
+deadline, bad-request, ...).
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+
+PROTOCOL_VERSION = 1
+
+
+def send_frame(sock, obj):
+    payload = json.dumps(obj).encode()
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        buf += chunk
+    return buf
+
+
+def recv_frame(sock):
+    (length,) = struct.unpack(">I", recv_exact(sock, 4))
+    return json.loads(recv_exact(sock, length))
+
+
+def call(sock, req):
+    """Send one request, return the response matching its id."""
+    send_frame(sock, req)
+    while True:
+        resp = recv_frame(sock)
+        if resp.get("id") == req["id"]:
+            return resp
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--port", type=int, required=True,
+                    help="service port on 127.0.0.1")
+    sub = ap.add_subparsers(dest="kind", required=True)
+
+    s = sub.add_parser("submit", help="run one program")
+    s.add_argument("--workload", help="Table 3 benchmark name")
+    s.add_argument("--seed", help="forge scenario seed (hex ok)")
+    s.add_argument("--deadline-ms", type=int, default=0)
+    s.add_argument("--warm", choices=["cold", "warm", "auto"],
+                   default="")
+    sub.add_parser("stats", help="server/scheduler/cache counters")
+    st = sub.add_parser("status", help="state of a submission")
+    st.add_argument("--target", type=int, required=True)
+    ca = sub.add_parser("cancel", help="cancel a submission")
+    ca.add_argument("--target", type=int, required=True)
+    sub.add_parser("shutdown", help="graceful drain + stop")
+
+    args = ap.parse_args()
+
+    req = {"v": PROTOCOL_VERSION, "id": 1, "kind": args.kind}
+    if args.kind == "submit":
+        if bool(args.workload) == bool(args.seed):
+            ap.error("submit needs exactly one of "
+                     "--workload / --seed")
+        if args.workload:
+            req["workload"] = args.workload
+        else:
+            req["seed"] = f"{int(args.seed, 0):016x}"
+        if args.deadline_ms:
+            req["deadlineMs"] = args.deadline_ms
+        if args.warm:
+            req["warm"] = args.warm
+    if args.kind in ("status", "cancel"):
+        req["target"] = args.target
+
+    with socket.create_connection(("127.0.0.1", args.port)) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        resp = call(sock, req)
+
+    json.dump(resp, sys.stdout, indent=2)
+    print()
+    return 0 if resp.get("status") == "ok" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

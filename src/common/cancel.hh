@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cooperative cancellation token shared between a request's owner
+ * (the service front-end, a batch submitter) and the workers running
+ * it.
+ *
+ * A token is a cheap copyable handle to shared state holding an
+ * explicit cancel flag and an optional wall-clock deadline.  Workers
+ * poll stopRequested() at natural boundaries — the batch driver
+ * between cases, the Jrpm pipeline between its Fig. 1 stages — so a
+ * cancel frame or an expired per-request deadline reclaims the
+ * worker at the next boundary instead of leaking it for the rest of
+ * the batch.  Hard per-run bounds (maxCycles, the PR 2
+ * forward-progress watchdog) cap how long any single stage can run
+ * between two polls.
+ *
+ * A default-constructed token is empty: it never reports a stop and
+ * costs one pointer test, so existing call sites need no
+ * configuration to opt out.
+ */
+
+#ifndef JRPM_COMMON_CANCEL_HH
+#define JRPM_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace jrpm
+{
+
+/** Shared cancel/deadline handle (see file header). */
+class CancelToken
+{
+  public:
+    /** Empty token: never cancelled, never expires. */
+    CancelToken() = default;
+
+    /** A live token others can cancel or arm with a deadline. */
+    static CancelToken
+    make()
+    {
+        CancelToken t;
+        t.st = std::make_shared<State>();
+        return t;
+    }
+
+    /** True for tokens created via make(). */
+    explicit operator bool() const { return st != nullptr; }
+
+    /** Request cancellation (idempotent; no-op on empty tokens). */
+    void
+    cancel()
+    {
+        if (st)
+            st->cancelled.store(true, std::memory_order_relaxed);
+    }
+
+    /** Arm a deadline @p ms from now (no-op on empty tokens;
+     *  ms == 0 clears the deadline). */
+    void
+    setDeadlineAfterMs(std::uint32_t ms)
+    {
+        if (!st)
+            return;
+        st->deadlineNs.store(
+            ms == 0 ? 0 : nowNs() + static_cast<std::int64_t>(ms) *
+                                        1'000'000,
+            std::memory_order_relaxed);
+    }
+
+    /** Explicitly cancelled via cancel(). */
+    bool
+    cancelled() const
+    {
+        return st && st->cancelled.load(std::memory_order_relaxed);
+    }
+
+    /** A deadline was armed and has passed. */
+    bool
+    expired() const
+    {
+        if (!st)
+            return false;
+        const std::int64_t d =
+            st->deadlineNs.load(std::memory_order_relaxed);
+        return d != 0 && nowNs() >= d;
+    }
+
+    /** Workers poll this at case/stage boundaries. */
+    bool stopRequested() const { return cancelled() || expired(); }
+
+    /** Stable one-word reason for error reporting ("cancelled" wins
+     *  over "deadline" when both hold). */
+    const char *
+    why() const
+    {
+        if (cancelled())
+            return "cancelled";
+        if (expired())
+            return "deadline";
+        return "";
+    }
+
+  private:
+    struct State
+    {
+        std::atomic<bool> cancelled{false};
+        /** steady_clock nanosecond timestamp; 0 = no deadline. */
+        std::atomic<std::int64_t> deadlineNs{0};
+    };
+
+    static std::int64_t
+    nowNs()
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+            .count();
+    }
+
+    std::shared_ptr<State> st;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_CANCEL_HH

@@ -44,6 +44,11 @@ const char *const kNames[kNumSlots] = {
     "trap_runtime",   // TrapRuntime
     "oracle_check",   // OracleCheck
     "metrics_publish",// MetricsPublish
+    "svc_accept",     // SvcAccept
+    "svc_parse",      // SvcParse
+    "svc_schedule",   // SvcSchedule
+    "svc_run",        // SvcRun
+    "svc_reply",      // SvcReply
 };
 
 // Declared display hierarchy (see slotParent doc in the header).
@@ -65,6 +70,14 @@ const int kParents[kNumSlots] = {
     static_cast<int>(HostSlot::StepExact),    // TrapRuntime
     static_cast<int>(HostSlot::Pipeline),     // OracleCheck
     static_cast<int>(HostSlot::Pipeline),     // MetricsPublish
+    // The service slots are display roots: accept/parse/schedule/
+    // reply run on the event thread, svc_run on pool workers (the
+    // whole Pipeline hierarchy nests under it dynamically).
+    -1,                                       // SvcAccept
+    -1,                                       // SvcParse
+    -1,                                       // SvcSchedule
+    -1,                                       // SvcRun
+    -1,                                       // SvcReply
 };
 
 } // namespace

@@ -59,9 +59,15 @@ enum class HostSlot : std::uint8_t
     TrapRuntime,   ///< VM trap handling
     OracleCheck,   ///< oracle comparison / divergence checks
     MetricsPublish,///< metrics/trace publication
+    // Jrpm-as-a-service request path (src/service/).
+    SvcAccept,     ///< accepting connections / socket reads
+    SvcParse,      ///< frame extraction + request decode
+    SvcSchedule,   ///< admission + work-stealing pool handoff
+    SvcRun,        ///< worker-side request execution (pipeline)
+    SvcReply,      ///< response serialization + socket writes
 };
 
-inline constexpr std::size_t kNumSlots = 17;
+inline constexpr std::size_t kNumSlots = 22;
 
 /** Short stable name for a slot ("machine_run", "dep_check", ...). */
 const char *slotName(std::size_t slot);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bytecode/bytecode.hh"
+#include "common/cancel.hh"
 #include "common/fault.hh"
 #include "core/oracle.hh"
 #include "crystal/crystal.hh"
@@ -82,6 +83,15 @@ struct CrystalRunConfig
      *  this fraction of the stored prediction (and the prediction
      *  promised a real speedup). */
     double demoteRatio = 0.5;
+    /**
+     * Admission policy for crystallizing fresh entries: only store
+     * decompositions whose predicted whole-program speedup reaches
+     * this bound.  The service sets it slightly above 1.0 on a
+     * capacity-limited cache so entries that only reproduce the
+     * sequential baseline don't evict entries that actually pay for
+     * the warm start.  0 (default) admits everything.
+     */
+    double admitMinPredicted = 0.0;
 };
 
 /** Full configuration of a Jrpm instance. */
@@ -99,6 +109,10 @@ struct JrpmConfig
     OracleConfig oracle;
     /** Faults injected into the TLS run (robustness harness). */
     FaultPlan faultPlan;
+    /** Cooperative cancel/deadline token, polled between the Fig. 1
+     *  pipeline stages; a stop turns the run into a fatal() (a
+     *  per-case error under ScopedFatalCapture).  Empty = never. */
+    CancelToken cancel;
     /** microJIT speed model: cycles per bytecode compiled. */
     double cyclesPerBytecodeCompile = 250.0;
     /** recompilation touches only STL-bearing methods. */

@@ -333,12 +333,46 @@ class JsonParser
             return literal("null");
         }
         if (c == '-' || (c >= '0' && c <= '9')) {
+            // Validate against the strict JSON number grammar
+            // before handing the span to strtod: strtod alone also
+            // accepts hex ("0x10"), "inf"/"nan" and leading zeros,
+            // none of which reportJson() ever emits and none of
+            // which a wire peer may smuggle in.
+            const std::size_t start = pos;
+            std::size_t p = pos;
+            auto digits = [&]() {
+                const std::size_t d0 = p;
+                while (p < s.size() && s[p] >= '0' && s[p] <= '9')
+                    ++p;
+                return p > d0;
+            };
+            if (s[p] == '-')
+                ++p;
+            if (p < s.size() && s[p] == '0') {
+                ++p; // a leading zero must stand alone
+                if (p < s.size() && s[p] >= '0' && s[p] <= '9')
+                    return error("leading zero in number");
+            } else if (!digits()) {
+                return error("bad number");
+            }
+            if (p < s.size() && s[p] == '.') {
+                ++p;
+                if (!digits())
+                    return error("bad number");
+            }
+            if (p < s.size() && (s[p] == 'e' || s[p] == 'E')) {
+                ++p;
+                if (p < s.size() && (s[p] == '+' || s[p] == '-'))
+                    ++p;
+                if (!digits())
+                    return error("bad number");
+            }
             char *end = nullptr;
             out.kind = JsonValue::Kind::Number;
-            out.num = std::strtod(s.c_str() + pos, &end);
-            if (end == s.c_str() + pos)
+            out.num = std::strtod(s.c_str() + start, &end);
+            if (end != s.c_str() + p)
                 return error("bad number");
-            pos = static_cast<std::size_t>(end - s.c_str());
+            pos = p;
             return true;
         }
         return error("unexpected character");

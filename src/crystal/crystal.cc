@@ -11,15 +11,35 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace fs = std::filesystem;
 
 namespace jrpm
 {
+
+namespace
+{
+
+/** Publish one repository event into the shared metrics registry.
+ *  Name lookup per event is fine here: every caller just did file
+ *  I/O, which dwarfs one map probe. */
+void
+bump(const char *name)
+{
+    MetricsRegistry::global().counter(name).inc();
+}
+
+} // namespace
 
 const char *
 warmModeName(WarmMode mode)
@@ -533,6 +553,7 @@ CrystalRepo::CrystalRepo(std::string dir) : root(std::move(dir))
             warn("crystal: swept stale temp file '%s'",
                  name.c_str());
             ++counters.tmpSwept;
+            bump("crystal.tmp_swept");
         }
     }
 }
@@ -559,6 +580,7 @@ CrystalRepo::lookup(std::uint64_t fingerprint, CrystalEntry &out)
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f) {
         ++counters.misses;
+        bump("crystal.misses");
         return false;
     }
     std::string text;
@@ -575,6 +597,8 @@ CrystalRepo::lookup(std::uint64_t fingerprint, CrystalEntry &out)
              readError ? "read error" : why.c_str());
         ++counters.rejects;
         ++counters.misses;
+        bump("crystal.rejects");
+        bump("crystal.misses");
         // Quarantine the unreadable file: rename it aside so the
         // next lookup goes straight to a clean miss (and re-store)
         // instead of re-parsing the same poison on every case of a
@@ -585,10 +609,15 @@ CrystalRepo::lookup(std::uint64_t fingerprint, CrystalEntry &out)
             warn("crystal: quarantined corrupt entry as '%s.corrupt'",
                  path.c_str());
             ++counters.quarantined;
+            bump("crystal.quarantined");
         }
         return false;
     }
     ++counters.hits;
+    bump("crystal.hits");
+    // Refresh the mtime so capacity eviction is LRU: a hit moves
+    // the entry to the back of the eviction order.
+    ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
     out = std::move(e);
     return true;
 }
@@ -623,7 +652,51 @@ CrystalRepo::store(const CrystalEntry &entry)
         return false;
     }
     ++counters.stores;
+    bump("crystal.stores");
+    if (maxEntries > 0)
+        enforceCapLocked();
     return true;
+}
+
+void
+CrystalRepo::setCapacity(std::size_t max_entries)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    maxEntries = max_entries;
+    if (maxEntries > 0) {
+        ScopedFlock iplock(lockFd, LOCK_EX);
+        enforceCapLocked();
+    }
+}
+
+void
+CrystalRepo::enforceCapLocked()
+{
+    // Collect (mtime, path) for every entry and drop the oldest
+    // until the cap holds.  Hits refresh mtimes, so this is LRU.
+    std::vector<std::pair<fs::file_time_type, fs::path>> entries;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(root, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.size() != 16 + 8 ||
+            name.compare(16, 8, ".crystal") != 0)
+            continue;
+        std::error_code tec;
+        const auto mtime = fs::last_write_time(de.path(), tec);
+        if (!tec)
+            entries.emplace_back(mtime, de.path());
+    }
+    if (entries.size() <= maxEntries)
+        return;
+    std::sort(entries.begin(), entries.end());
+    const std::size_t excess = entries.size() - maxEntries;
+    for (std::size_t i = 0; i < excess; ++i) {
+        std::error_code rec;
+        if (fs::remove(entries[i].second, rec) && !rec) {
+            ++counters.evictions;
+            bump("crystal.evictions");
+        }
+    }
 }
 
 bool
@@ -633,8 +706,10 @@ CrystalRepo::invalidate(std::uint64_t fingerprint)
     ScopedFlock iplock(lockFd, LOCK_EX);
     const bool existed =
         std::remove(pathFor(fingerprint).c_str()) == 0;
-    if (existed)
+    if (existed) {
         ++counters.invalidations;
+        bump("crystal.invalidations");
+    }
     return existed;
 }
 

@@ -1,13 +1,12 @@
 #include "driver.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
-#include <thread>
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "service/scheduler.hh"
 
 namespace jrpm
 {
@@ -34,6 +33,7 @@ summarizePercentiles(std::vector<double> samples)
     s.p50 = rank(0.50);
     s.p90 = rank(0.90);
     s.p99 = rank(0.99);
+    s.p999 = rank(0.999);
     return s;
 }
 
@@ -66,55 +66,56 @@ BatchDriver::run(std::vector<DriverJob> jobs)
         1, std::min<std::uint32_t>(cfg.jobs,
                                    static_cast<std::uint32_t>(n)));
 
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            DriverJob &job = jobs[i];
-            DriverResult &res = results[i];
-            if (cfg.progress)
-                inform("driver: job %zu/%zu: %s", i + 1, n,
-                       job.workload.name.c_str());
-            const auto t0 = std::chrono::steady_clock::now();
-            try {
-                // Contain fatal() too: a single case hitting a
-                // fatal path (warm-miss under --warm=warm, an
-                // unsupported config) must become a per-case error,
-                // not exit the process under every sibling.
-                ScopedFatalCapture capture;
-                if (job.custom) {
-                    res.report = job.custom();
-                } else {
-                    JrpmSystem sys(job.workload, job.cfg);
-                    res.report = sys.run();
-                }
-                res.ok = true;
-            } catch (const std::exception &e) {
-                res.error = e.what();
-            } catch (...) {
-                res.error = "unknown exception";
-            }
-            res.wallMs =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-            if (!res.ok)
-                warn("driver: job %zu (%s) failed: %s", i + 1,
-                     job.workload.name.c_str(), res.error.c_str());
+    auto runCase = [&](std::size_t i) {
+        DriverJob &job = jobs[i];
+        DriverResult &res = results[i];
+        // Batch-case boundary: a cancelled batch (cancel frame,
+        // expired per-request deadline) skips every case that has
+        // not started yet instead of leaking a running worker.
+        if (cfg.cancel.stopRequested()) {
+            const char *why = cfg.cancel.why();
+            res.error = *why ? why : "cancelled";
+            return;
         }
+        if (cfg.progress)
+            inform("driver: job %zu/%zu: %s", i + 1, n,
+                   job.workload.name.c_str());
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            // Contain fatal() too: a single case hitting a
+            // fatal path (warm-miss under --warm=warm, an
+            // unsupported config) must become a per-case error,
+            // not exit the process under every sibling.
+            ScopedFatalCapture capture;
+            if (job.custom) {
+                res.report = job.custom();
+            } else {
+                JrpmSystem sys(job.workload, job.cfg);
+                res.report = sys.run();
+            }
+            res.ok = true;
+        } catch (const std::exception &e) {
+            res.error = e.what();
+        } catch (...) {
+            res.error = "unknown exception";
+        }
+        res.wallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+        if (!res.ok)
+            warn("driver: job %zu (%s) failed: %s", i + 1,
+                 job.workload.name.c_str(), res.error.c_str());
     };
 
-    if (workers == 1) {
-        worker();
-    } else {
-        std::vector<std::jthread> pool;
-        pool.reserve(workers);
-        for (std::uint32_t w = 0; w < workers; ++w)
-            pool.emplace_back(worker);
-        // jthread joins on destruction.
+    // The batch API is a thin client of the work-stealing scheduler:
+    // each case is one pool task writing its own input-indexed
+    // result slot, so the output bytes are independent of the worker
+    // count and of the steal order.
+    {
+        svc::WorkStealingPool pool(workers);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&runCase, i] { runCase(i); });
+        pool.drain();
     }
 
     auto &reg = MetricsRegistry::global();
@@ -122,21 +123,9 @@ BatchDriver::run(std::vector<DriverJob> jobs)
     reg.gauge("driver.workers").set(workers);
     for (const DriverResult &r : results)
         reg.histogram("driver.job_wall_ms").sample(r.wallMs);
-    if (repoOwned) {
-        // Publish the delta since the last batch so repeated run()
-        // calls don't double-count the cumulative repo stats.
-        const CrystalStats cs = repoOwned->stats();
-        reg.counter("crystal.hits").inc(cs.hits - published.hits);
-        reg.counter("crystal.misses")
-            .inc(cs.misses - published.misses);
-        reg.counter("crystal.stores")
-            .inc(cs.stores - published.stores);
-        reg.counter("crystal.invalidations")
-            .inc(cs.invalidations - published.invalidations);
-        reg.counter("crystal.rejects")
-            .inc(cs.rejects - published.rejects);
-        published = cs;
-    }
+    // Crystal repository counters publish live from CrystalRepo
+    // itself (crystal.* in the metrics registry), shared by every
+    // client — batch driver, service front-end, fleet workers.
     return results;
 }
 

@@ -7,10 +7,17 @@
  * one JIT — so jobs share no mutable state beyond the thread-safe
  * process-wide observability singletons (Trace, MetricsRegistry, the
  * log throttle) and, optionally, one crystal repository that
- * warm-starts repeat workloads.  A fixed-size std::jthread worker
- * pool drains an index-based job queue; results land in input order,
- * so a batch's reports are byte-identical whether it ran with one
- * worker or sixteen.
+ * warm-starts repeat workloads.  The driver is a thin batch client
+ * of the service layer's work-stealing scheduler
+ * (service/scheduler.hh): every job becomes one pool task that
+ * writes its own input-indexed result slot, so a batch's reports are
+ * byte-identical whether it ran with one worker or sixteen and
+ * whatever the steal order was.
+ *
+ * Cancellation: a batch can carry a CancelToken; it is polled at
+ * batch-case boundaries, so cancelling (or an expired deadline)
+ * turns every not-yet-started case into a per-case error instead of
+ * leaking running workers for the rest of the batch.
  */
 
 #ifndef JRPM_DRIVER_DRIVER_HH
@@ -22,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "core/jrpm.hh"
 #include "crystal/crystal.hh"
 
@@ -40,6 +48,10 @@ struct DriverConfig
     WarmMode warm = WarmMode::Auto;
     /** Per-job progress lines via inform(). */
     bool progress = false;
+    /** Optional batch-wide cancel/deadline token, polled at case
+     *  boundaries; cancelled cases report error "cancelled" (or
+     *  "deadline").  Empty = never cancelled. */
+    CancelToken cancel;
 };
 
 /** One unit of work: a workload plus its full pipeline config. */
@@ -76,7 +88,8 @@ struct DriverResult
 struct PercentileSummary
 {
     std::uint64_t n = 0;
-    double min = 0, p50 = 0, p90 = 0, p99 = 0, max = 0, mean = 0;
+    double min = 0, p50 = 0, p90 = 0, p99 = 0, p999 = 0, max = 0,
+           mean = 0;
 };
 
 /** Summarize @p samples (consumed: sorted in place). */
@@ -104,8 +117,6 @@ class BatchDriver
   private:
     DriverConfig cfg;
     std::unique_ptr<CrystalRepo> repoOwned;
-    /** Repo stats already published to the metrics registry. */
-    CrystalStats published;
 };
 
 } // namespace jrpm

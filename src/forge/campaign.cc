@@ -249,9 +249,10 @@ std::string
 pctJson(const PercentileSummary &s)
 {
     return strfmt("{\"n\":%" PRIu64 ",\"min\":%.17g,\"p50\":%.17g,"
-                  "\"p90\":%.17g,\"p99\":%.17g,\"max\":%.17g,"
-                  "\"mean\":%.17g}",
-                  s.n, s.min, s.p50, s.p90, s.p99, s.max, s.mean);
+                  "\"p90\":%.17g,\"p99\":%.17g,\"p999\":%.17g,"
+                  "\"max\":%.17g,\"mean\":%.17g}",
+                  s.n, s.min, s.p50, s.p90, s.p99, s.p999, s.max,
+                  s.mean);
 }
 
 /** Percentiles of @p pick over the completed cases in @p results

@@ -1,0 +1,55 @@
+#include "cache.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+namespace svc
+{
+
+WarmCache::WarmCache(CacheConfig config) : cfg(std::move(config))
+{
+    if (cfg.dir.empty())
+        return;
+    repoOwned = std::make_unique<CrystalRepo>(cfg.dir);
+    repoOwned->setCapacity(cfg.capacity);
+}
+
+void
+WarmCache::applyTo(JrpmConfig &jc,
+                   const std::string &warm_override) const
+{
+    if (!repoOwned)
+        return;
+    jc.crystal.repo = repoOwned.get();
+    jc.crystal.warm =
+        warm_override.empty() ? cfg.warm
+                              : parseWarmMode(warm_override);
+    if (cfg.capacity > 0)
+        jc.crystal.admitMinPredicted = cfg.admitMinPredicted;
+}
+
+std::string
+WarmCache::statsJson() const
+{
+    if (!repoOwned)
+        return "{\"enabled\":false}";
+    const CrystalStats s = repoOwned->stats();
+    const std::uint64_t lookups = s.hits + s.misses;
+    return strfmt(
+        "{\"enabled\":true,\"capacity\":%zu,\"entries\":%zu,"
+        "\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+        ",\"hitRate\":%.4f,\"stores\":%" PRIu64
+        ",\"invalidations\":%" PRIu64 ",\"rejects\":%" PRIu64
+        ",\"evictions\":%" PRIu64 "}",
+        cfg.capacity, repoOwned->size(), s.hits, s.misses,
+        lookups ? static_cast<double>(s.hits) /
+                      static_cast<double>(lookups)
+                : 0.0,
+        s.stores, s.invalidations, s.rejects, s.evictions);
+}
+
+} // namespace svc
+} // namespace jrpm

@@ -1,0 +1,454 @@
+#include "protocol.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace jrpm
+{
+namespace svc
+{
+
+// ---- framing ----------------------------------------------------------
+
+std::string
+frameEncode(const std::string &payload)
+{
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(payload.size());
+    std::string out;
+    out.reserve(4 + payload.size());
+    out.push_back(static_cast<char>((n >> 24) & 0xff));
+    out.push_back(static_cast<char>((n >> 16) & 0xff));
+    out.push_back(static_cast<char>((n >> 8) & 0xff));
+    out.push_back(static_cast<char>(n & 0xff));
+    out += payload;
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    if (poisoned)
+        return;
+    // Drop the consumed prefix before growing; keeps the buffer at
+    // O(one frame) instead of O(connection lifetime).
+    if (off > 0 && off == buf.size()) {
+        buf.clear();
+        off = 0;
+    } else if (off > (64u << 10) && off * 2 > buf.size()) {
+        buf.erase(0, off);
+        off = 0;
+    }
+    buf.append(data, n);
+}
+
+bool
+FrameReader::next(std::string &payload)
+{
+    if (poisoned)
+        return false;
+    if (buf.size() - off < 4)
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(buf.data() + off);
+    const std::uint32_t len =
+        (static_cast<std::uint32_t>(p[0]) << 24) |
+        (static_cast<std::uint32_t>(p[1]) << 16) |
+        (static_cast<std::uint32_t>(p[2]) << 8) |
+        static_cast<std::uint32_t>(p[3]);
+    if (len > maxFrame) {
+        poisoned = true;
+        err = strfmt("frame length %u exceeds cap %zu", len,
+                     maxFrame);
+        return false;
+    }
+    if (buf.size() - off - 4 < len)
+        return false; // torn frame: wait for more bytes
+    payload.assign(buf, off + 4, len);
+    off += 4 + len;
+    return true;
+}
+
+// ---- requests ---------------------------------------------------------
+
+const char *
+reqKindName(ReqKind kind)
+{
+    switch (kind) {
+      case ReqKind::Submit: return "submit";
+      case ReqKind::Status: return "status";
+      case ReqKind::Cancel: return "cancel";
+      case ReqKind::Stats: return "stats";
+      case ReqKind::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::string
+requestJson(const Request &r)
+{
+    std::string j = strfmt(
+        "{\"v\":%u,\"id\":%" PRIu64 ",\"kind\":\"%s\"", r.version,
+        r.id, reqKindName(r.kind));
+    if (r.kind == ReqKind::Submit) {
+        if (!r.workload.empty())
+            j += strfmt(",\"workload\":\"%s\"",
+                        jsonEscape(r.workload).c_str());
+        if (r.haveSeed)
+            j += strfmt(",\"seed\":\"%016" PRIx64 "\"", r.seed);
+        if (r.axes != forge::kAllAxes)
+            j += strfmt(",\"axes\":%u", r.axes);
+        if (r.deadlineMs)
+            j += strfmt(",\"deadlineMs\":%u", r.deadlineMs);
+        if (!r.warm.empty())
+            j += strfmt(",\"warm\":\"%s\"",
+                        jsonEscape(r.warm).c_str());
+        if (r.debugSleepMs)
+            j += strfmt(",\"debugSleepMs\":%u", r.debugSleepMs);
+    }
+    if (r.kind == ReqKind::Status || r.kind == ReqKind::Cancel)
+        j += strfmt(",\"target\":%" PRIu64, r.target);
+    j += "}";
+    return j;
+}
+
+namespace
+{
+
+bool
+fieldU64(const JsonValue &v, const char *key, std::uint64_t &out)
+{
+    const JsonValue &f = v[key];
+    if (f.kind != JsonValue::Kind::Number || f.num < 0)
+        return false;
+    out = static_cast<std::uint64_t>(f.num);
+    return true;
+}
+
+} // namespace
+
+bool
+requestFromJson(const std::string &text, Request &out,
+                std::string *err, bool *version_mismatch)
+{
+    if (version_mismatch)
+        *version_mismatch = false;
+    JsonValue v;
+    std::string perr;
+    if (!jsonParse(text, v, &perr)) {
+        if (err)
+            *err = "malformed request: " + perr;
+        return false;
+    }
+    if (v.kind != JsonValue::Kind::Object) {
+        if (err)
+            *err = "request is not a JSON object";
+        return false;
+    }
+    Request r;
+    if (v["v"].kind != JsonValue::Kind::Number) {
+        if (err)
+            *err = "missing protocol version field \"v\"";
+        return false;
+    }
+    r.version = static_cast<std::uint32_t>(v["v"].num);
+    std::uint64_t id = 0;
+    fieldU64(v, "id", id);
+    r.id = id;
+    if (r.version != kProtocolVersion) {
+        out = r; // id/version available for the error response
+        if (version_mismatch)
+            *version_mismatch = true;
+        if (err)
+            *err = strfmt("protocol version %u, server speaks %u",
+                          r.version, kProtocolVersion);
+        return false;
+    }
+    const std::string &kind = v["kind"].str;
+    if (kind == "submit") {
+        r.kind = ReqKind::Submit;
+    } else if (kind == "status") {
+        r.kind = ReqKind::Status;
+    } else if (kind == "cancel") {
+        r.kind = ReqKind::Cancel;
+    } else if (kind == "stats") {
+        r.kind = ReqKind::Stats;
+    } else if (kind == "shutdown") {
+        r.kind = ReqKind::Shutdown;
+    } else {
+        out = r;
+        if (err)
+            *err = kind.empty() ? "missing request kind"
+                                : "unknown request kind '" + kind +
+                                      "'";
+        return false;
+    }
+
+    if (r.kind == ReqKind::Submit) {
+        r.workload = v["workload"].str;
+        const JsonValue &seed = v["seed"];
+        if (seed.kind == JsonValue::Kind::String) {
+            char *end = nullptr;
+            r.seed = std::strtoull(seed.str.c_str(), &end, 16);
+            if (end == seed.str.c_str() || *end != '\0') {
+                out = r;
+                if (err)
+                    *err = "seed is not a hex string";
+                return false;
+            }
+            r.haveSeed = true;
+        } else if (seed.kind == JsonValue::Kind::Number) {
+            r.seed = static_cast<std::uint64_t>(seed.num);
+            r.haveSeed = true;
+        }
+        if (v["axes"].kind == JsonValue::Kind::Number)
+            r.axes = static_cast<std::uint32_t>(v["axes"].num);
+        if (v["deadlineMs"].kind == JsonValue::Kind::Number)
+            r.deadlineMs =
+                static_cast<std::uint32_t>(v["deadlineMs"].num);
+        r.warm = v["warm"].str;
+        if (v["debugSleepMs"].kind == JsonValue::Kind::Number)
+            r.debugSleepMs =
+                static_cast<std::uint32_t>(v["debugSleepMs"].num);
+    }
+    if (r.kind == ReqKind::Status || r.kind == ReqKind::Cancel) {
+        if (!fieldU64(v, "target", r.target)) {
+            out = r;
+            if (err)
+                *err = "missing numeric target";
+            return false;
+        }
+    }
+    out = r;
+    return true;
+}
+
+// ---- responses --------------------------------------------------------
+
+std::string
+errorResponseJson(std::uint64_t id, const char *status,
+                  const std::string &detail)
+{
+    return strfmt("{\"v\":%u,\"id\":%" PRIu64
+                  ",\"kind\":\"error\",\"status\":\"%s\","
+                  "\"detail\":\"%s\"}",
+                  kProtocolVersion, id, status,
+                  jsonEscape(detail).c_str());
+}
+
+std::string
+okResponseJson(std::uint64_t id, const std::string &extraFields)
+{
+    return strfmt("{\"v\":%u,\"id\":%" PRIu64
+                  ",\"kind\":\"ok\",\"status\":\"ok\"%s%s}",
+                  kProtocolVersion, id,
+                  extraFields.empty() ? "" : ",",
+                  extraFields.c_str());
+}
+
+std::string
+resultResponseJson(std::uint64_t id, const std::string &report_json,
+                   double queue_ms, double run_ms)
+{
+    return strfmt("{\"v\":%u,\"id\":%" PRIu64
+                  ",\"kind\":\"result\",\"status\":\"ok\","
+                  "\"queueMs\":%.3f,\"runMs\":%.3f,\"report\":%s}",
+                  kProtocolVersion, id, queue_ms, run_ms,
+                  report_json.c_str());
+}
+
+// ---- blocking client --------------------------------------------------
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+ServiceClient::ServiceClient(ServiceClient &&other) noexcept
+    : fd(other.fd), reader(std::move(other.reader))
+{
+    other.fd = -1;
+}
+
+ServiceClient &
+ServiceClient::operator=(ServiceClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd = other.fd;
+        reader = std::move(other.reader);
+        other.fd = -1;
+    }
+    return *this;
+}
+
+void
+ServiceClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+ServiceClient::connect(std::uint16_t port, std::string *err)
+{
+    close();
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = strfmt("socket: %s", std::strerror(errno));
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (err)
+            *err = strfmt("connect 127.0.0.1:%u: %s", port,
+                          std::strerror(errno));
+        close();
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    reader = FrameReader();
+    return true;
+}
+
+bool
+ServiceClient::sendBytes(const std::string &bytes, std::string *err)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = strfmt("send: %s", std::strerror(errno));
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServiceClient::sendRaw(const std::string &payload, std::string *err)
+{
+    return sendBytes(frameEncode(payload), err);
+}
+
+bool
+ServiceClient::send(const Request &r, std::string *err)
+{
+    return sendRaw(requestJson(r), err);
+}
+
+bool
+ServiceClient::pump(std::string *err)
+{
+    for (;;) {
+        char buf[16384];
+        const ssize_t n =
+            ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (n == 0) {
+            if (err)
+                *err = "connection closed by server";
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = strfmt("recv: %s", std::strerror(errno));
+            return false;
+        }
+        reader.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+ServiceClient::recv(std::string &payload, std::string *err)
+{
+    for (;;) {
+        if (reader.next(payload))
+            return true;
+        if (reader.broken()) {
+            if (err)
+                *err = reader.error();
+            return false;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n == 0) {
+            if (err)
+                *err = "connection closed by server";
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = strfmt("recv: %s", std::strerror(errno));
+            return false;
+        }
+        reader.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+ServiceClient::recvJson(JsonValue &out, std::string *raw,
+                        std::string *err)
+{
+    std::string payload;
+    if (!recv(payload, err))
+        return false;
+    if (raw)
+        *raw = payload;
+    std::string perr;
+    if (!jsonParse(payload, out, &perr)) {
+        if (err)
+            *err = "malformed response: " + perr;
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::call(const Request &r, JsonValue &out,
+                    std::string *raw, std::string *err)
+{
+    if (!send(r, err))
+        return false;
+    // Responses to pipelined requests can interleave; skip frames
+    // for other ids (callers that need every frame use recv()).
+    for (;;) {
+        if (!recvJson(out, raw, err))
+            return false;
+        if (out["id"].kind == JsonValue::Kind::Number &&
+            static_cast<std::uint64_t>(out["id"].num) == r.id)
+            return true;
+    }
+}
+
+} // namespace svc
+} // namespace jrpm

@@ -1,0 +1,160 @@
+#include "scheduler.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace jrpm
+{
+namespace svc
+{
+
+WorkStealingPool::WorkStealingPool(std::uint32_t workers)
+{
+    const std::uint32_t n = workers < 1 ? 1 : workers;
+    deques.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        deques.push_back(std::make_unique<Deque>());
+    threads.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(parkMu);
+        stopping.store(true, std::memory_order_relaxed);
+    }
+    parkCv.notify_all();
+    // jthreads join on destruction; workers finish queued tasks
+    // before exiting (see workerLoop).
+}
+
+void
+WorkStealingPool::submit(std::function<void()> task)
+{
+    submit(std::move(task),
+           rr.fetch_add(1, std::memory_order_relaxed));
+}
+
+void
+WorkStealingPool::submit(std::function<void()> task,
+                         std::uint32_t home)
+{
+    Deque &d = *deques[home % deques.size()];
+    nSubmitted.fetch_add(1, std::memory_order_relaxed);
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(d.mu);
+        d.q.push_back(std::move(task));
+    }
+    {
+        // Publish under parkMu so a worker checking the queued count
+        // before parking cannot miss the wakeup.
+        std::lock_guard<std::mutex> lock(parkMu);
+        queued.fetch_add(1, std::memory_order_relaxed);
+    }
+    parkCv.notify_one();
+}
+
+std::function<void()>
+WorkStealingPool::take(std::uint32_t self)
+{
+    const std::uint32_t n = workers();
+    {
+        Deque &own = *deques[self];
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.q.empty()) {
+            auto task = std::move(own.q.front());
+            own.q.pop_front();
+            return task;
+        }
+    }
+    if (n == 1)
+        return {};
+    // Steal: start at a random victim, then sweep the rest so one
+    // probe round inspects every deque exactly once.
+    thread_local Rng rng(0x57ea1ull + self);
+    const std::uint32_t start = rng.below(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint32_t v = (start + k) % n;
+        if (v == self)
+            continue;
+        Deque &victim = *deques[v];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (victim.q.empty())
+            continue;
+        auto task = std::move(victim.q.back());
+        victim.q.pop_back();
+        nSteals.fetch_add(1, std::memory_order_relaxed);
+        return task;
+    }
+    return {};
+}
+
+void
+WorkStealingPool::workerLoop(std::uint32_t self)
+{
+    for (;;) {
+        std::function<void()> task = take(self);
+        if (!task) {
+            std::unique_lock<std::mutex> lock(parkMu);
+            parkCv.wait(lock, [this] {
+                return stopping.load(std::memory_order_relaxed) ||
+                       queued.load(std::memory_order_relaxed) > 0;
+            });
+            if (queued.load(std::memory_order_relaxed) == 0 &&
+                stopping.load(std::memory_order_relaxed))
+                return;
+            continue;
+        }
+        queued.fetch_sub(1, std::memory_order_relaxed);
+        // Counted at dequeue, not return: a task may publish its own
+        // completion (the service replies from inside the task), so
+        // counting afterwards would let an observer see the result
+        // before the counter ticks.
+        nExecuted.fetch_add(1, std::memory_order_relaxed);
+        try {
+            task();
+        } catch (const std::exception &e) {
+            nFaults.fetch_add(1, std::memory_order_relaxed);
+            warn("scheduler: task threw: %s", e.what());
+        } catch (...) {
+            nFaults.fetch_add(1, std::memory_order_relaxed);
+            warn("scheduler: task threw a non-std exception");
+        }
+        // Last finisher wakes both drainers and (on shutdown) the
+        // parked workers waiting for the queue to empty.
+        if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(parkMu);
+            drainCv.notify_all();
+            parkCv.notify_all();
+        }
+    }
+}
+
+void
+WorkStealingPool::drain()
+{
+    std::unique_lock<std::mutex> lock(parkMu);
+    drainCv.wait(lock, [this] {
+        return inflight.load(std::memory_order_acquire) == 0;
+    });
+}
+
+SchedulerStats
+WorkStealingPool::stats() const
+{
+    SchedulerStats s;
+    s.workers = workers();
+    s.submitted = nSubmitted.load(std::memory_order_relaxed);
+    s.executed = nExecuted.load(std::memory_order_relaxed);
+    s.steals = nSteals.load(std::memory_order_relaxed);
+    s.taskFaults = nFaults.load(std::memory_order_relaxed);
+    s.queued = queued.load(std::memory_order_relaxed);
+    s.inflight = inflight.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace svc
+} // namespace jrpm

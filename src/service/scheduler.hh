@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Work-stealing job system shared by the batch driver and the Jrpm
+ * service front-end.
+ *
+ * Each worker owns a deque of tasks.  submit() places a task on a
+ * home deque (round-robin by default, or pinned via the explicit
+ * overload — the service pins request batches, tests pin everything
+ * to one deque to force steals).  A worker drains its own deque
+ * FIFO from the front; when empty it steals from the *back* of a
+ * random victim's deque, so a thief takes the work its owner would
+ * touch last.  Idle workers park on a condition variable and are
+ * woken by submissions.
+ *
+ * Determinism contract: the pool schedules, it never orders results.
+ * Callers that need ordered output (the batch driver, the service's
+ * per-request responses) index a result slot per task, so the output
+ * bytes are independent of the worker count and of which worker
+ * stole what — the steal-heavy determinism tests in test_driver.cc
+ * and test_service.cc pin this.
+ *
+ * Tasks must not throw: the pool runs them under a catch-all and
+ * counts escaped exceptions (taskFaults) instead of dying, because
+ * one poisoned request must never take down the multi-tenant server.
+ */
+
+#ifndef JRPM_SERVICE_SCHEDULER_HH
+#define JRPM_SERVICE_SCHEDULER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jrpm
+{
+namespace svc
+{
+
+/** Point-in-time pool observability (for the stats frame). */
+struct SchedulerStats
+{
+    std::uint32_t workers = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;     ///< tasks taken from another deque
+    std::uint64_t taskFaults = 0; ///< exceptions escaping tasks
+    std::uint64_t queued = 0;     ///< sitting in deques right now
+    std::uint64_t inflight = 0;   ///< submitted, not yet finished
+};
+
+/** The work-stealing pool (see file header). */
+class WorkStealingPool
+{
+  public:
+    /** Spawns @p workers threads (clamped to >= 1). */
+    explicit WorkStealingPool(std::uint32_t workers);
+
+    /** Drains every queued task, then joins the workers. */
+    ~WorkStealingPool();
+
+    /** Enqueue on the next home deque (round-robin). */
+    void submit(std::function<void()> task);
+
+    /** Enqueue on worker @p home's deque (mod worker count). */
+    void submit(std::function<void()> task, std::uint32_t home);
+
+    /** Block until every task submitted so far has finished. */
+    void drain();
+
+    std::uint32_t workers() const
+    {
+        return static_cast<std::uint32_t>(deques.size());
+    }
+
+    SchedulerStats stats() const;
+
+  private:
+    struct Deque
+    {
+        mutable std::mutex mu;
+        std::deque<std::function<void()>> q;
+    };
+
+    /** Pop our own front, else steal a random victim's back.
+     *  @return empty function when nothing is runnable. */
+    std::function<void()> take(std::uint32_t self);
+
+    void workerLoop(std::uint32_t self);
+
+    std::vector<std::unique_ptr<Deque>> deques;
+
+    /** Guards parking and the drain wait. */
+    mutable std::mutex parkMu;
+    std::condition_variable parkCv;  ///< work arrived / stopping
+    std::condition_variable drainCv; ///< inflight reached zero
+
+    std::atomic<bool> stopping{false};
+    std::atomic<std::uint64_t> queued{0};
+    std::atomic<std::uint64_t> inflight{0};
+    std::atomic<std::uint64_t> nSubmitted{0};
+    std::atomic<std::uint64_t> nExecuted{0};
+    std::atomic<std::uint64_t> nSteals{0};
+    std::atomic<std::uint64_t> nFaults{0};
+    std::atomic<std::uint32_t> rr{0};
+
+    std::vector<std::jthread> threads;
+};
+
+} // namespace svc
+} // namespace jrpm
+
+#endif // JRPM_SERVICE_SCHEDULER_HH

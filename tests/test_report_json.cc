@@ -213,5 +213,47 @@ TEST(ReportJson, PrimitivesAndEscapes)
     EXPECT_EQ(v.fields.size(), 0u);
 }
 
+// Pinned: the strict number grammar.  Bare strtod also accepts hex,
+// infinities, NaNs and leading zeros — the wire front-end feeds this
+// parser untrusted bytes, so each must stay rejected.
+TEST(ReportJson, StrictNumberGrammarRejectsStrtodExtensions)
+{
+    JsonValue v;
+    std::string err;
+    for (const char *bad :
+         {"0x10", "-0x1p4", "inf", "-inf", "infinity", "nan",
+          "NaN", "01", "-01", "007", "1.", ".5", "-.5", "1e",
+          "1e+", "+1", "--1", "1.2.3", "0x", "1f"}) {
+        EXPECT_FALSE(jsonParse(bad, v, &err))
+            << "accepted: " << bad;
+    }
+    for (const char *good :
+         {"0", "-0", "10", "-10", "0.5", "-0.5", "1e9", "1E9",
+          "1e+9", "1e-9", "123.456e-2", "0.0"}) {
+        EXPECT_TRUE(jsonParse(good, v, &err))
+            << "rejected: " << good << ": " << err;
+    }
+    // In context: a poisoned field fails the whole document.
+    EXPECT_FALSE(jsonParse("{\"a\":0x10}", v, &err));
+    EXPECT_FALSE(jsonParse("[1,inf]", v, &err));
+}
+
+// Pinned: every parse failure names the byte offset, and trailing
+// garbage after a complete document is itself a failure — the wire
+// protocol's exact-consumption guarantee depends on both.
+TEST(ReportJson, ParseErrorsCarryByteOffsets)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_FALSE(jsonParse("{\"a\":1} garbage", v, &err));
+    EXPECT_NE(err.find("trailing garbage at byte 8"),
+              std::string::npos)
+        << err;
+    ASSERT_FALSE(jsonParse("{\"a\":01}", v, &err));
+    EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+    ASSERT_FALSE(jsonParse("[1,2,x]", v, &err));
+    EXPECT_NE(err.find("at byte 5"), std::string::npos) << err;
+}
+
 } // namespace
 } // namespace jrpm
