@@ -27,6 +27,14 @@
  *  --emit-starter=<dir>  write the hand-minimized starter corpus
  *                        (one scenario per stress axis + one mixed).
  *
+ *  --diff-fastpath     speculative fast-path equivalence campaign:
+ *                      run every scenario through the pipeline twice
+ *                      (sys.specMemFastPath forced on and off) and
+ *                      require semantically identical outcomes —
+ *                      cycles, Fig. 10 buckets, violations, VM
+ *                      output, and the strict oracle's memory
+ *                      checksum.  Exit 1 on any mismatch.
+ *
  *  --fleet             run the campaign as a crash-isolated fleet:
  *                      shard the seed range over --jobs worker
  *                      subprocesses supervised with per-case
@@ -347,6 +355,30 @@ dumpFinalMetrics(const Options &opt)
 }
 
 int
+diffFastPathMain(const Options &opt)
+{
+    forge::CampaignConfig cc;
+    cc.cases = opt.cases;
+    cc.seed = opt.seed;
+    cc.axes = forge::parseAxes(opt.axes);
+    cc.forcedSweep = !opt.noForcedSweep;
+    cc.base = forgeConfig(opt);
+
+    std::printf("fast-path differential campaign: %u cases, seed "
+                "0x%" PRIx64 ", axes %s, oracle %s%s\n",
+                cc.cases, cc.seed,
+                forge::axesDescribe(cc.axes).c_str(),
+                oracleModeName(cc.base.oracle.mode),
+                cc.forcedSweep ? "" : ", no forced sweep");
+    const forge::DifferentialResult res =
+        forge::runFastPathDifferential(cc);
+    std::printf("%s", res.summary().c_str());
+    logReportSuppressed();
+    dumpFinalMetrics(opt);
+    return res.clean() ? 0 : 1;
+}
+
+int
 fleetMain(const Options &opt, const char *argv0)
 {
     if (opt.manifest.empty())
@@ -412,6 +444,8 @@ campaignMain(int argc, char **argv)
         return replayCorpus(opt);
     if (opt.shrinkDemo)
         return shrinkDemo(opt);
+    if (opt.diffFastPath)
+        return diffFastPathMain(opt);
     if (!opt.workerRange.empty())
         return workerMain(opt);
     if (!opt.workerReplay.empty())

@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/hostprof.hh"
 #include "common/trace.hh"
 #include "workloads/workloads.hh"
@@ -122,6 +125,14 @@ struct HostProfGuard
     ~HostProfGuard()
     {
         hostprof::setEnabled(false);
+        hostprof::flushThread();
+        // Opt-in attribution dump: where did host cycles go inside the
+        // measured runs?  (stderr so --benchmark_format consumers stay
+        // parseable.)
+        if (const char *e = std::getenv("JRPM_HOSTPROF_REPORT"))
+            if (e[0] == '1')
+                std::fprintf(stderr, "%s\n",
+                             hostprof::reportJson().c_str());
         hostprof::reset();
     }
 };

@@ -115,6 +115,14 @@ parseArgs(int argc, char **argv)
             opt.forensics = argv[i] + 12;
         } else if (!std::strcmp(argv[i], "--no-forced-sweep")) {
             opt.noForcedSweep = true;
+        } else if (!std::strncmp(argv[i], "--spec-fastpath=", 16)) {
+            opt.specFastPath = argv[i] + 16;
+            if (opt.specFastPath != "on" &&
+                opt.specFastPath != "off")
+                fatal("--spec-fastpath wants on|off, got '%s'",
+                      opt.specFastPath.c_str());
+        } else if (!std::strcmp(argv[i], "--diff-fastpath")) {
+            opt.diffFastPath = true;
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [--quick] [--only=<benchmark>] "
                         "[--list] [--jobs=<n>] [--repo=<dir>] "
@@ -131,7 +139,9 @@ parseArgs(int argc, char **argv)
                         "[--fleet] [--manifest=<path>] "
                         "[--case-timeout-ms=<n>] "
                         "[--chaos-kill-ms=<n>] [--forensics=<dir>] "
-                        "[--no-forced-sweep]\n",
+                        "[--no-forced-sweep] "
+                        "[--spec-fastpath=on|off] "
+                        "[--diff-fastpath]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -196,6 +206,8 @@ benchConfig(const Options &opt)
     }
     if (!opt.faultPlan.empty())
         cfg.faultPlan = FaultPlan::parse(opt.faultPlan);
+    if (!opt.specFastPath.empty())
+        cfg.sys.specMemFastPath = opt.specFastPath == "on";
     return cfg;
 }
 

@@ -23,6 +23,8 @@
  *   --chaos-kill-ms=<n>  fleet self-test worker killer
  *   --forensics=<dir>    crash records + partial telemetry (fleet)
  *   --no-forced-sweep    skip the per-loop forced speculation pass
+ *   --spec-fastpath=on|off  force the speculative memory fast path
+ *   --diff-fastpath      fast-path on/off equivalence campaign
  */
 
 #ifndef JRPM_BENCH_BENCH_UTIL_HH
@@ -74,6 +76,12 @@ struct Options
     std::string workerReplay;    ///< --worker-replay=<file>
     std::string forensics;       ///< --forensics=<dir>
     bool noForcedSweep = false;  ///< --no-forced-sweep
+    /** --spec-fastpath=on|off: force the speculative memory fast
+     *  path ("" = the SystemConfig default). */
+    std::string specFastPath;
+    /** --diff-fastpath: fast-path on/off equivalence campaign
+     *  (bench_forge_campaign). */
+    bool diffFastPath = false;
 };
 
 /** Parses flags; handles --help and --list (both print and exit).

@@ -1,48 +1,93 @@
 #!/usr/bin/env python3
-"""CI gate over a bench_service run (BENCH_service.json).
+"""CI gate over the service-bench trajectory (BENCH_service.json).
 
-bench_service drives an in-process Jrpm service with open-loop
-loopback clients and verifies every result against the batch
-driver's reportJson() bytes.  This script asserts the run's
-invariants so a regression in the wire protocol, the work-stealing
-scheduler or the pipeline integration fails CI:
+BENCH_service.json (repo root) holds a list of labeled snapshots,
+oldest first — one appended per PR that moves service performance,
+mirroring BENCH_simspeed.json.  Each entry is the full
+``bench_service --out`` object plus a ``label``.
 
- * zero protocol errors — every frame decoded and every response was
-   a typed result/busy/shutdown (torn frames, garbage or unexpected
-   kinds count here);
- * zero byte mismatches — service results are byte-identical to the
-   batch driver (the determinism contract);
- * zero fatal clients and zero lost responses;
- * a minimum completed-request count (the server actually ran work);
- * a p99 latency ceiling — generous by default (queueing under an
-   open loop is expected, the admission cap bounds it) but low
-   enough to catch a stalled scheduler or a blocked event loop.
+A fresh run is checked two ways:
+
+ * **Absolute invariants** — a regression in the wire protocol, the
+   work-stealing scheduler or the pipeline integration fails CI:
+   zero protocol errors (torn frames, garbage or unexpected kinds),
+   zero byte mismatches against the batch driver's reportJson()
+   (the determinism contract), zero fatal clients and task faults
+   and pipeline errors, every submission answered (result or typed
+   busy), a minimum completed-request count, and a p99 latency
+   ceiling — generous (queueing under an open loop is expected, the
+   admission cap bounds it) but low enough to catch a stalled
+   scheduler or a blocked event loop.
+
+ * **Relative gate against the previous trajectory entry**:
+   completed-request throughput must reach at least
+   ``1 - tolerance`` of the last recorded entry (default tolerance
+   0.5).  The wide default absorbs host-speed differences between
+   the recording machine and CI; the gate exists to catch
+   order-of-magnitude service regressions, not percent-level drift.
 
 Usage:
     bench_service --clients=64 --duration-ms=10000 \
-        --out=BENCH_service.json
-    scripts/check_service.py BENCH_service.json \
-        [--min-results=200] [--max-p99-ms=10000]
+        --out=current.json
+    scripts/check_service.py current.json \
+        [--min-results=200] [--max-p99-ms=10000] [--tolerance=0.5]
+    scripts/check_service.py current.json --update "label"  # append
 """
 
 import argparse
 import json
 import sys
+from pathlib import Path
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / \
+    "BENCH_service.json"
+
+
+def load_trajectory(path):
+    """The labeled-snapshot list; tolerates the pre-trajectory
+    single-object format by wrapping it as one unlabeled entry."""
+    if not path.exists():
+        return []
+    traj = json.loads(path.read_text())
+    if isinstance(traj, dict):
+        traj = [dict(traj, label="unlabeled snapshot")]
+    return traj
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("result", help="bench_service --out JSON")
+    ap.add_argument("result", help="bench_service --out JSON of a "
+                    "fresh run")
     ap.add_argument("--min-results", type=int, default=200,
                     help="minimum completed submissions "
                     "(default 200)")
     ap.add_argument("--max-p99-ms", type=float, default=10000.0,
                     help="end-to-end p99 latency ceiling in ms "
                     "(default 10000)")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed throughput drop below the last "
+                    "trajectory entry (default 0.5)")
+    ap.add_argument("--trajectory", type=Path, default=TRAJECTORY)
+    ap.add_argument("--update", metavar="LABEL",
+                    help="append the current run to the trajectory "
+                    "instead of checking")
     args = ap.parse_args()
 
     with open(args.result) as f:
         r = json.load(f)
+    if not isinstance(r, dict) or "throughputPerSec" not in r:
+        sys.exit(f"{args.result} is not a bench_service --out "
+                 "snapshot (pass the fresh run, not the trajectory)")
+
+    traj = load_trajectory(args.trajectory)
+
+    if args.update is not None:
+        traj.append(dict(r, label=args.update))
+        args.trajectory.write_text(
+            json.dumps(traj, indent=2, sort_keys=True) + "\n")
+        print(f"appended '{args.update}' to {args.trajectory} "
+              f"({len(traj)} entries)")
+        return 0
 
     failures = []
 
@@ -76,6 +121,18 @@ def main():
     p99 = r["latencyMs"]["p99"]
     check(p99 <= args.max_p99_ms,
           f"p99 {p99:.1f}ms <= {args.max_p99_ms:.0f}ms")
+
+    if traj:
+        prev = traj[-1]
+        floor = prev["throughputPerSec"] * (1.0 - args.tolerance)
+        check(r["throughputPerSec"] >= floor,
+              f"throughput {r['throughputPerSec']:.1f}/s >= "
+              f"{floor:.1f}/s ({1.0 - args.tolerance:.0%} of "
+              f"'{prev['label']}' at "
+              f"{prev['throughputPerSec']:.1f}/s)")
+    else:
+        print(f"note: no trajectory at {args.trajectory}; relative "
+              "gate skipped (record one with --update)")
 
     lat = r["latencyMs"]
     print(f"\nservice: {r['results']} results "

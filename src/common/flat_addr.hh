@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Cache-friendly open-addressed hash containers keyed by simulated
+ * addresses, for the TLS speculative-state hot path.
+ *
+ * `std::unordered_map` dominates the host cost of speculative memory
+ * operations (one heap node + pointer chase per lookup); these tables
+ * keep keys in one flat array with linear probing, so the common
+ * find/insert touches one or two cache lines.  Iteration follows
+ * insertion order through an explicit index list, which makes every
+ * consumer (commit drains, fault-injection byte picks, TEST-mode
+ * buffer reuse) deterministic across hosts and standard libraries.
+ *
+ * Keys are word- or line-base addresses, i.e. always 4-byte aligned,
+ * so the all-ones sentinel can never collide with a real key.
+ */
+
+#ifndef JRPM_COMMON_FLAT_ADDR_HH
+#define JRPM_COMMON_FLAT_ADDR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace jrpm
+{
+
+/** Open-addressed Addr->V map with insertion-order iteration. */
+template <typename V>
+class FlatAddrMap
+{
+  public:
+    static constexpr Addr kEmpty = 0xffffffffu; ///< unaligned: unused
+
+    explicit FlatAddrMap(std::uint32_t initial_capacity = 64)
+    {
+        std::uint32_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        keys.assign(cap, kEmpty);
+        vals.resize(cap);
+        mask = cap - 1;
+    }
+
+    V *
+    find(Addr key)
+    {
+        std::uint32_t i = slotOf(key);
+        while (keys[i] != kEmpty) {
+            if (keys[i] == key)
+                return &vals[i];
+            i = (i + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        return const_cast<FlatAddrMap *>(this)->find(key);
+    }
+
+    bool contains(Addr key) const { return find(key) != nullptr; }
+
+    /** Find or default-insert (like unordered_map::operator[]). */
+    V &
+    operator[](Addr key)
+    {
+        std::uint32_t i = slotOf(key);
+        while (keys[i] != kEmpty) {
+            if (keys[i] == key)
+                return vals[i];
+            i = (i + 1) & mask;
+        }
+        if ((order.size() + 1) * 4 > (mask + 1) * 3) {
+            grow();
+            return (*this)[key];
+        }
+        keys[i] = key;
+        vals[i] = V();
+        order.push_back(i);
+        return vals[i];
+    }
+
+    /** Insert if absent; true if newly inserted. */
+    bool
+    insertNew(Addr key)
+    {
+        const std::size_t before = order.size();
+        (*this)[key];
+        return order.size() != before;
+    }
+
+    /**
+     * Remove a key that was inserted by the immediately preceding
+     * insertion, with no inserts in between (capacity-overflow
+     * rollback).  Under that contract the vacated slot cannot orphan
+     * any other key's probe chain: the neighbouring slot was still
+     * empty when this key landed.
+     */
+    void
+    cancelInsert(Addr key)
+    {
+        if (order.empty())
+            return;
+        const std::uint32_t i = order.back();
+        if (keys[i] != key)
+            return; // not the latest insert: leave the table intact
+        keys[i] = kEmpty;
+        vals[i] = V();
+        order.pop_back();
+    }
+
+    void
+    clear()
+    {
+        for (std::uint32_t i : order) {
+            keys[i] = kEmpty;
+            vals[i] = V();
+        }
+        order.clear();
+    }
+
+    std::size_t size() const { return order.size(); }
+    bool empty() const { return order.empty(); }
+
+    /** Visit (key, value&) pairs in insertion order. */
+    template <typename F>
+    void
+    forEach(F &&f)
+    {
+        for (std::uint32_t i : order)
+            f(keys[i], vals[i]);
+    }
+
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::uint32_t i : order)
+            f(keys[i], vals[i]);
+    }
+
+  private:
+    std::uint32_t
+    slotOf(Addr key) const
+    {
+        // Fibonacci hash: keys are multiples of a power of two, so
+        // the multiply spreads them across the high bits.
+        const std::uint64_t h =
+            static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+        return static_cast<std::uint32_t>(h >> 32) & mask;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Addr> oldKeys = std::move(keys);
+        std::vector<V> oldVals = std::move(vals);
+        std::vector<std::uint32_t> oldOrder = std::move(order);
+        const std::uint32_t cap = (mask + 1) * 2;
+        keys.assign(cap, kEmpty);
+        vals.assign(cap, V());
+        order.clear();
+        order.reserve(oldOrder.size());
+        mask = cap - 1;
+        for (std::uint32_t o : oldOrder) {
+            const Addr key = oldKeys[o];
+            std::uint32_t i = slotOf(key);
+            while (keys[i] != kEmpty)
+                i = (i + 1) & mask;
+            keys[i] = key;
+            vals[i] = oldVals[o];
+            order.push_back(i);
+        }
+    }
+
+    std::vector<Addr> keys;
+    std::vector<V> vals;
+    std::vector<std::uint32_t> order; ///< occupied slots, oldest first
+    std::uint32_t mask = 0;
+};
+
+/** Open-addressed Addr set with the same determinism guarantees. */
+class FlatAddrSet
+{
+  public:
+    explicit FlatAddrSet(std::uint32_t initial_capacity = 64)
+        : impl(initial_capacity)
+    {
+    }
+
+    bool insert(Addr key) { return impl.insertNew(key); }
+    bool contains(Addr key) const { return impl.contains(key); }
+    void cancelInsert(Addr key) { impl.cancelInsert(key); }
+    void clear() { impl.clear(); }
+    std::size_t size() const { return impl.size(); }
+
+  private:
+    struct Unit
+    {
+    };
+    FlatAddrMap<Unit> impl;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_COMMON_FLAT_ADDR_HH

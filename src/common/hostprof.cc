@@ -44,6 +44,8 @@ const char *const kNames[kNumSlots] = {
     "trap_runtime",   // TrapRuntime
     "oracle_check",   // OracleCheck
     "metrics_publish",// MetricsPublish
+    "sig_check",      // SigCheck
+    "spec_fast_retire", // SpecFastRetire
     "svc_accept",     // SvcAccept
     "svc_parse",      // SvcParse
     "svc_schedule",   // SvcSchedule
@@ -70,6 +72,8 @@ const int kParents[kNumSlots] = {
     static_cast<int>(HostSlot::StepExact),    // TrapRuntime
     static_cast<int>(HostSlot::Pipeline),     // OracleCheck
     static_cast<int>(HostSlot::Pipeline),     // MetricsPublish
+    static_cast<int>(HostSlot::StepExact),    // SigCheck
+    static_cast<int>(HostSlot::SpecDispatch), // SpecFastRetire
     // The service slots are display roots: accept/parse/schedule/
     // reply run on the event thread, svc_run on pool workers (the
     // whole Pipeline hierarchy nests under it dynamically).

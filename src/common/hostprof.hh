@@ -59,6 +59,8 @@ enum class HostSlot : std::uint8_t
     TrapRuntime,   ///< VM trap handling
     OracleCheck,   ///< oracle comparison / divergence checks
     MetricsPublish,///< metrics/trace publication
+    SigCheck,      ///< write/read-set signature membership probes
+    SpecFastRetire,///< speculative memory ops retired in-window
     // Jrpm-as-a-service request path (src/service/).
     SvcAccept,     ///< accepting connections / socket reads
     SvcParse,      ///< frame extraction + request decode
@@ -67,7 +69,7 @@ enum class HostSlot : std::uint8_t
     SvcReply,      ///< response serialization + socket writes
 };
 
-inline constexpr std::size_t kNumSlots = 22;
+inline constexpr std::size_t kNumSlots = 24;
 
 /** Short stable name for a slot ("machine_run", "dep_check", ...). */
 const char *slotName(std::size_t slot);

@@ -12,6 +12,34 @@
 namespace jrpm
 {
 
+namespace
+{
+
+bool
+samePlan(const OptPlan &a, const OptPlan &b)
+{
+    return a.syncLock == b.syncLock &&
+           a.syncLocalVar == b.syncLocalVar &&
+           a.multilevel == b.multilevel &&
+           a.multilevelInner == b.multilevelInner &&
+           a.hoistHandlers == b.hoistHandlers;
+}
+
+bool
+sameRequests(const std::vector<StlRequest> &a,
+             const std::vector<StlRequest> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].loopId != b[i].loopId ||
+            !samePlan(a[i].plan, b[i].plan))
+            return false;
+    return true;
+}
+
+} // namespace
+
 JrpmSystem::JrpmSystem(Workload workload, JrpmConfig config)
     : load(std::move(workload)), cfg(std::move(config)),
       theJit(load.program, cfg.jit)
@@ -110,7 +138,14 @@ JrpmSystem::runTls(const std::vector<Word> &args,
         reqs.push_back({sel.loopId, sel.plan});
     {
         JRPM_HPROF(JitCompile);
-        theJit.compileAll(m.codeSpace(), CompileMode::Tls, reqs);
+        if (tlsCache.valid && sameRequests(tlsCache.reqs, reqs)) {
+            m.codeSpace() = tlsCache.code;
+        } else {
+            theJit.compileAll(m.codeSpace(), CompileMode::Tls, reqs);
+            tlsCache.code = m.codeSpace();
+            tlsCache.reqs = reqs;
+            tlsCache.valid = true;
+        }
     }
     RunOutcome out = runOn(m, args);
     out.faultsInjected = inj.firedTotal();

@@ -82,10 +82,13 @@ telemetryJson(const ExecStats &st)
 {
     std::string j = strfmt(
         "{\"specWindows\":%" PRIu64 ",\"specWindowInsts\":%" PRIu64
-        ",\"specSlowSteps\":%" PRIu64 ",\"forwardedLoads\":%" PRIu64
+        ",\"specSlowSteps\":%" PRIu64 ",\"specFastMem\":%" PRIu64
+        ",\"sigHits\":%" PRIu64 ",\"sigFalsePositives\":%" PRIu64
+        ",\"forwardedLoads\":%" PRIu64
         ",\"commits\":%" PRIu64 ",\"stlEntries\":%" PRIu64
         ",\"overflowStalls\":%" PRIu64 ",",
         st.burstSpans.count, st.burstSpans.sum, st.specSlowSteps,
+        st.specFastMem, st.sigHits, st.sigFalsePositives,
         st.forwardedLoads, st.commits, st.stlEntries,
         st.bufferOverflowStalls);
     j += strfmt("\"squashCauses\":%s,",
@@ -123,10 +126,13 @@ loopJson(std::int32_t loop_id, const StlRuntimeStats &ls)
         "{\"loopId\":%d,\"entries\":%" PRIu64 ",\"commits\":%" PRIu64
         ",\"violations\":%" PRIu64 ",\"cyclesInside\":%" PRIu64
         ",\"overflowStalls\":%" PRIu64 ",\"soloEntries\":%" PRIu64
-        ",\"slowSteps\":%" PRIu64 ",\"forwardedLoads\":%" PRIu64 ",",
+        ",\"slowSteps\":%" PRIu64 ",\"specFastMem\":%" PRIu64
+        ",\"sigHits\":%" PRIu64 ",\"sigFalsePositives\":%" PRIu64
+        ",\"forwardedLoads\":%" PRIu64 ",",
         loop_id, ls.entries, ls.commits, ls.violations,
         ls.cyclesInside, ls.overflowStalls, ls.soloEntries,
-        ls.slowSteps, ls.forwardedLoads);
+        ls.slowSteps, ls.specFastMem, ls.sigHits,
+        ls.sigFalsePositives, ls.forwardedLoads);
     j += strfmt("\"squashCauses\":%s,",
                 causeMapJson(ls.squashCauses, squashCauseName)
                     .c_str());

@@ -105,6 +105,16 @@ struct SystemConfig
     /** Model cache timing (off = every access is an L1 hit). */
     bool cacheTiming = true;
 
+    /**
+     * Host-side speed knob (no effect on simulated behaviour): let
+     * speculative memory ops that provably miss every other core's
+     * write/read-set signature retire inside event-horizon burst
+     * windows instead of forcing the cycle-exact step() path.  Off
+     * keeps the reference path for differential testing; results are
+     * bit-identical either way.
+     */
+    bool specMemFastPath = true;
+
     SpecBufferConfig specBuffers;
     HandlerCosts handlers;
     WatchdogConfig watchdog;

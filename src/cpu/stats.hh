@@ -157,6 +157,15 @@ struct ExecStats
     SpanHist burstSpans;
     /** Windows that fell back to the cycle-exact step() path. */
     std::uint64_t specSlowSteps = 0;
+    /** Speculative memory ops retired inside a burst window (the
+     *  signature fast path proved them core-local). */
+    std::uint64_t specFastMem = 0;
+    /** Write/read-set signature probes that hit and ran the exact
+     *  forwarding or broadcast scan. */
+    std::uint64_t sigHits = 0;
+    /** Signature hits whose exact scan then found nothing (aliasing);
+     *  pure fallback cost, never a correctness event. */
+    std::uint64_t sigFalsePositives = 0;
     /** Speculative loads satisfied from a less-speculative buffer. */
     std::uint64_t forwardedLoads = 0;
     /** Iteration distance the forwarded value travelled. */
@@ -234,6 +243,9 @@ struct StlRuntimeStats
     // --- dependence telemetry (observatory), scoped to this loop ---
     SpanHist burstSpans;           ///< event-free burst lengths
     std::uint64_t slowSteps = 0;   ///< cycle-exact fallback windows
+    std::uint64_t specFastMem = 0; ///< memory ops retired in-window
+    std::uint64_t sigHits = 0;     ///< signature probes that hit
+    std::uint64_t sigFalsePositives = 0; ///< hits with empty scans
     std::uint64_t forwardedLoads = 0;
     SpanHist forwardDistance;      ///< iteration distance of forwards
     SpanHist storeBufOccupancy;    ///< lines buffered at each store

@@ -36,11 +36,15 @@ caseResultJson(const forge::CaseResult &cr)
                 ",\"specWindows\":%" PRIu64
                 ",\"specWindowInsts\":%" PRIu64
                 ",\"specSlowSteps\":%" PRIu64
+                ",\"specFastMem\":%" PRIu64
+                ",\"sigHits\":%" PRIu64
+                ",\"sigFalsePositives\":%" PRIu64
                 ",\"forwardedLoads\":%" PRIu64
                 ",\"meanBurst\":%.17g,\"wallMs\":%.17g,",
                 cr.speedup, cr.seqCycles, cr.tlsCycles, cr.violations,
                 cr.commits, cr.overflowStalls, cr.specWindows,
-                cr.specWindowInsts, cr.specSlowSteps,
+                cr.specWindowInsts, cr.specSlowSteps, cr.specFastMem,
+                cr.sigHits, cr.sigFalsePositives,
                 cr.forwardedLoads, cr.meanBurst, cr.wallMs);
     j += "\"squashCauses\":[";
     for (std::size_t c = 0; c < kNumSquashCauses; ++c)
@@ -117,6 +121,9 @@ caseResultFromJson(const std::string &text, forge::CaseResult &out,
     cr.specWindows = u64Of(v["specWindows"]);
     cr.specWindowInsts = u64Of(v["specWindowInsts"]);
     cr.specSlowSteps = u64Of(v["specSlowSteps"]);
+    cr.specFastMem = u64Of(v["specFastMem"]);
+    cr.sigHits = u64Of(v["sigHits"]);
+    cr.sigFalsePositives = u64Of(v["sigFalsePositives"]);
     cr.forwardedLoads = u64Of(v["forwardedLoads"]);
     cr.meanBurst = v["meanBurst"].number();
     cr.wallMs = v["wallMs"].number();

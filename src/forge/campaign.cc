@@ -69,6 +69,9 @@ runCaseImpl(const ScenarioSpec &spec, const JrpmConfig &base,
     cr.specWindows = st.burstSpans.count;
     cr.specWindowInsts = st.burstSpans.sum;
     cr.specSlowSteps = st.specSlowSteps;
+    cr.specFastMem = st.specFastMem;
+    cr.sigHits = st.sigHits;
+    cr.sigFalsePositives = st.sigFalsePositives;
     cr.forwardedLoads = st.forwardedLoads;
     cr.meanBurst = st.burstSpans.mean();
     cr.squashCauses = st.squashCauses;
@@ -131,6 +134,175 @@ runCase(const ScenarioSpec &spec, const JrpmConfig &base,
         bool forced_sweep)
 {
     return runCaseImpl(spec, base, forced_sweep, nullptr);
+}
+
+CaseResult
+runCase(const ScenarioSpec &spec, const JrpmConfig &base,
+        bool forced_sweep, JrpmReport *rep_out)
+{
+    return runCaseImpl(spec, base, forced_sweep, rep_out);
+}
+
+namespace
+{
+
+/**
+ * First semantic difference between the fast-path-on and -off
+ * pipeline reports of one scenario ("" when equivalent).  Excludes
+ * exactly the dispatch-shape telemetry — burstSpans, specSlowSteps,
+ * specFastMem, sigHits, sigFalsePositives — which counts how the
+ * simulator stepped and legitimately differs between the two modes.
+ * Everything observable about the simulated machine must match
+ * bit-for-bit: cycle/instruction counts, the Fig. 10 buckets (double
+ * accounting included), violations and their address map, forwarding
+ * and occupancy histograms, cache hit/miss counters, VM output, and
+ * the oracle's memory checksum.
+ */
+std::string
+semanticDiff(const JrpmReport &on, const JrpmReport &off)
+{
+    std::string d;
+    auto u64 = [&](const char *what, std::uint64_t a,
+                   std::uint64_t b) {
+        if (d.empty() && a != b)
+            d = strfmt("%s: on %" PRIu64 " off %" PRIu64, what, a, b);
+    };
+    auto num = [&](const char *what, double a, double b) {
+        if (d.empty() && a != b)
+            d = strfmt("%s: on %.17g off %.17g", what, a, b);
+    };
+    auto hist = [&](const char *what, const SpanHist &a,
+                    const SpanHist &b) {
+        u64(strfmt("%s.count", what).c_str(), a.count, b.count);
+        u64(strfmt("%s.sum", what).c_str(), a.sum, b.sum);
+        u64(strfmt("%s.max", what).c_str(), a.max, b.max);
+    };
+
+    // The fast path only exists in speculative mode; the sequential
+    // golden must be untouched by the knob.
+    u64("seqMain.cycles", on.seqMain.cycles, off.seqMain.cycles);
+    u64("seqMain.memChecksum", on.seqMain.memChecksum,
+        off.seqMain.memChecksum);
+
+    const RunOutcome &a = on.tls;
+    const RunOutcome &b = off.tls;
+    u64("tls.halted", a.halted, b.halted);
+    u64("tls.uncaught", a.uncaught, b.uncaught);
+    u64("tls.exitValue", a.exitValue, b.exitValue);
+    u64("tls.cycles", a.cycles, b.cycles);
+    u64("tls.insts", a.insts, b.insts);
+    u64("tls.memChecksum", a.memChecksum, b.memChecksum);
+    if (d.empty() && a.vm.output != b.vm.output)
+        d = "tls.vm.output differs";
+    u64("tls.l1Hits", a.l1Hits, b.l1Hits);
+    u64("tls.l1Misses", a.l1Misses, b.l1Misses);
+    u64("tls.l2Hits", a.l2Hits, b.l2Hits);
+    u64("tls.l2Misses", a.l2Misses, b.l2Misses);
+
+    const ExecStats &sa = a.stats;
+    const ExecStats &sb = b.stats;
+    num("stats.serial", sa.serial, sb.serial);
+    num("stats.runUsed", sa.runUsed, sb.runUsed);
+    num("stats.waitUsed", sa.waitUsed, sb.waitUsed);
+    num("stats.overhead", sa.overhead, sb.overhead);
+    num("stats.runViolated", sa.runViolated, sb.runViolated);
+    num("stats.waitViolated", sa.waitViolated, sb.waitViolated);
+    u64("stats.violations", sa.violations, sb.violations);
+    u64("stats.violationAddrsDropped", sa.violationAddrsDropped,
+        sb.violationAddrsDropped);
+    if (d.empty() && sa.violationAddrs != sb.violationAddrs)
+        d = "stats.violationAddrs differs";
+    u64("stats.commits", sa.commits, sb.commits);
+    u64("stats.stlEntries", sa.stlEntries, sb.stlEntries);
+    u64("stats.bufferOverflowStalls", sa.bufferOverflowStalls,
+        sb.bufferOverflowStalls);
+    u64("stats.watchdogFires", sa.watchdogFires, sb.watchdogFires);
+    u64("stats.governorAborts", sa.governorAborts,
+        sb.governorAborts);
+    u64("stats.violationsSuppressed", sa.violationsSuppressed,
+        sb.violationsSuppressed);
+    u64("stats.forwardedLoads", sa.forwardedLoads,
+        sb.forwardedLoads);
+    hist("stats.forwardDistance", sa.forwardDistance,
+         sb.forwardDistance);
+    hist("stats.storeBufOccupancy", sa.storeBufOccupancy,
+         sb.storeBufOccupancy);
+    for (std::size_t c = 0; c < kNumSquashCauses; ++c)
+        u64(strfmt("stats.squashCauses[%s]", squashCauseName(c))
+                .c_str(),
+            sa.squashCauses[c], sb.squashCauses[c]);
+    for (std::size_t c = 0; c < kNumAddrClasses; ++c)
+        u64(strfmt("stats.violationsByClass[%s]", addrClassName(c))
+                .c_str(),
+            sa.violationsByClass[c], sb.violationsByClass[c]);
+    return d;
+}
+
+} // namespace
+
+DifferentialResult
+runFastPathDifferential(const CampaignConfig &cfg)
+{
+    DifferentialResult res;
+    res.cases = cfg.cases;
+
+    JrpmConfig onCfg = cfg.base;
+    onCfg.sys.specMemFastPath = true;
+    JrpmConfig offCfg = cfg.base;
+    offCfg.sys.specMemFastPath = false;
+
+    for (std::uint32_t i = 0; i < cfg.cases; ++i) {
+        const ScenarioSpec spec = generate(cfg.seed + i, cfg.axes);
+        JrpmReport ron, roff;
+        const CaseResult con =
+            runCaseImpl(spec, onCfg, cfg.forcedSweep, &ron);
+        const CaseResult coff =
+            runCaseImpl(spec, offCfg, cfg.forcedSweep, &roff);
+
+        res.fastMemRetired += ron.tls.stats.specFastMem;
+        res.sigHits += ron.tls.stats.sigHits;
+        res.slowSteps += ron.tls.stats.specSlowSteps;
+
+        std::string d;
+        if (!con.ok || !coff.ok)
+            d = strfmt("pipeline error (on: %s; off: %s)",
+                       con.ok ? "ok" : con.error.c_str(),
+                       coff.ok ? "ok" : coff.error.c_str());
+        else if (con.pipelineDiverged != coff.pipelineDiverged)
+            d = strfmt("pipelineDiverged: on %d off %d",
+                       con.pipelineDiverged, coff.pipelineDiverged);
+        else if (con.forcedLoops != coff.forcedLoops ||
+                 con.forcedDiverged != coff.forcedDiverged)
+            d = strfmt("forced sweep: on %u/%u diverged, "
+                       "off %u/%u diverged",
+                       con.forcedDiverged, con.forcedLoops,
+                       coff.forcedDiverged, coff.forcedLoops);
+        else
+            d = semanticDiff(ron, roff);
+        if (!d.empty())
+            res.mismatches.push_back({spec.seed, d});
+    }
+
+    auto &reg = MetricsRegistry::global();
+    reg.counter("forge.diff_cases").inc(res.cases);
+    reg.counter("forge.diff_mismatches").inc(res.mismatches.size());
+    return res;
+}
+
+std::string
+DifferentialResult::summary() const
+{
+    std::string s = strfmt(
+        "fast-path differential: %u cases, %zu mismatching\n"
+        "on-run telemetry: %" PRIu64 " in-window mem retires, "
+        "%" PRIu64 " signature hits, %" PRIu64 " exact fallbacks\n",
+        cases, mismatches.size(), fastMemRetired, sigHits,
+        slowSteps);
+    for (const DifferentialMismatch &m : mismatches)
+        s += strfmt("  MISMATCH seed 0x%016llx: %s\n",
+                    static_cast<unsigned long long>(m.seed),
+                    m.detail.c_str());
+    return s;
 }
 
 void
@@ -327,6 +499,18 @@ campaignAnalyticsJson(const CampaignConfig &cfg,
         {"specSlowSteps",
          [](const CaseResult &c) {
              return static_cast<double>(c.specSlowSteps);
+         }},
+        {"specFastMem",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.specFastMem);
+         }},
+        {"sigHits",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.sigHits);
+         }},
+        {"sigFalsePositives",
+         [](const CaseResult &c) {
+             return static_cast<double>(c.sigFalsePositives);
          }},
         {"forwardedLoads",
          [](const CaseResult &c) {

@@ -82,6 +82,9 @@ struct CaseResult
     std::uint64_t specWindows = 0;     ///< speculative burst windows
     std::uint64_t specWindowInsts = 0; ///< insts retired in bursts
     std::uint64_t specSlowSteps = 0;   ///< cycle-exact fallbacks
+    std::uint64_t specFastMem = 0;     ///< mem ops retired in-window
+    std::uint64_t sigHits = 0;         ///< signature probes that hit
+    std::uint64_t sigFalsePositives = 0; ///< hits with empty scans
     std::uint64_t forwardedLoads = 0;
     double meanBurst = 0;              ///< insts per burst window
     std::array<std::uint64_t, kNumSquashCauses> squashCauses{};
@@ -145,6 +148,53 @@ struct CampaignResult
  *  classify it.  Exposed for the shrinker predicate and tests. */
 CaseResult runCase(const ScenarioSpec &spec, const JrpmConfig &base,
                    bool forced_sweep);
+
+/** As above, but also hand back the full pipeline report (the
+ *  fast-path differential harness compares two of them). */
+CaseResult runCase(const ScenarioSpec &spec, const JrpmConfig &base,
+                   bool forced_sweep, JrpmReport *rep_out);
+
+/** One scenario whose fast-path-on and fast-path-off runs differed. */
+struct DifferentialMismatch
+{
+    std::uint64_t seed = 0;
+    std::string detail;        ///< first differing field, both values
+};
+
+/** Outcome of a fast-path differential campaign. */
+struct DifferentialResult
+{
+    std::uint32_t cases = 0;
+    /** Telemetry of the fast-path-on runs, summed over all cases:
+     *  proof the differential exercised the fast path rather than
+     *  comparing the exact stepper against itself. */
+    std::uint64_t fastMemRetired = 0; ///< in-window memory retires
+    std::uint64_t sigHits = 0;        ///< signature probes that hit
+    std::uint64_t slowSteps = 0;      ///< cycle-exact fallbacks
+
+    std::vector<DifferentialMismatch> mismatches;
+    bool clean() const { return mismatches.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * The speculative-fast-path equivalence campaign: run every scenario
+ * through the full pipeline twice — `sys.specMemFastPath` forced on
+ * and forced off — and require semantically identical outcomes: the
+ * same results (exit value, output, halted/uncaught), the same cycle
+ * and instruction counts, Fig. 10 buckets, violation / commit /
+ * forwarding / cache telemetry, and the same oracle-captured memory
+ * checksum, for the pipeline's TLS run and (under `forcedSweep`)
+ * every forced decomposition.  Dispatch-shape counters (burst spans,
+ * slow steps, signature probes, in-window retires) are the only
+ * fields allowed to differ: they describe how the simulator stepped,
+ * not what the simulated machine did.
+ *
+ * Honors `cases`, `seed`, `axes`, `forcedSweep` and `base`; runs
+ * in-process and sequentially (each case is its own on/off pair, so
+ * there is no cross-case state to isolate).
+ */
+DifferentialResult runFastPathDifferential(const CampaignConfig &cfg);
 
 /** Fold one case into the campaign counters (everything except
  *  `failures`/`failing`, which shrink separately).  Shared between

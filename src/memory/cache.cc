@@ -57,7 +57,8 @@ CacheModel::tagOf(Addr addr) const
 bool
 CacheModel::access(Addr addr)
 {
-    JRPM_HPROF(CacheModel);
+    // Hot enough that even a disabled profiler scope shows up: cache
+    // cost is attributed to the dispatch slot that issued the access.
     const std::uint32_t set = setOf(addr);
     const Addr tag = tagOf(addr);
     Way *base = &ways[static_cast<std::size_t>(set) * assocWays];

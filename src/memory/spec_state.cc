@@ -22,7 +22,7 @@ StoreBuffer::wouldOverflow(Addr addr) const
         cap = lineLimit;
     if (lines.size() < cap)
         return false;
-    return lines.find(lineBase(addr)) == lines.end();
+    return !lines.contains(lineBase(addr));
 }
 
 void
@@ -42,12 +42,12 @@ StoreBuffer::corruptOneByte(std::uint64_t pick, Addr &corrupted)
     std::uint64_t total = 0;
     for (Addr base : bases)
         total += static_cast<std::uint64_t>(
-            __builtin_popcount(lines.at(base).mask));
+            __builtin_popcount(lines.find(base)->mask));
     if (total == 0)
         return false;
     std::uint64_t target = pick % total;
     for (Addr base : bases) {
-        Line &line = lines.at(base);
+        Line &line = *lines.find(base);
         for (std::uint32_t b = 0; b < config.lineBytes; ++b) {
             if (!(line.mask & (1u << b)))
                 continue;
@@ -66,6 +66,7 @@ void
 StoreBuffer::write(Addr addr, Word value, std::uint32_t len)
 {
     Line &line = lines[lineBase(addr)];
+    writeSig.insert(lineBase(addr));
     const std::uint32_t off = addr & (config.lineBytes - 1);
     if (off + len > config.lineBytes)
         panic("store buffer write crosses a line at 0x%08x", addr);
@@ -78,13 +79,13 @@ StoreBuffer::write(Addr addr, Word value, std::uint32_t len)
 Coverage
 StoreBuffer::coverage(Addr addr, std::uint32_t len) const
 {
-    auto it = lines.find(lineBase(addr));
-    if (it == lines.end())
+    const Line *line = lines.find(lineBase(addr));
+    if (!line)
         return Coverage::None;
     const std::uint32_t off = addr & (config.lineBytes - 1);
     std::uint32_t covered = 0;
     for (std::uint32_t b = 0; b < len; ++b)
-        if (it->second.mask & (1u << (off + b)))
+        if (line->mask & (1u << (off + b)))
             ++covered;
     if (covered == 0)
         return Coverage::None;
@@ -95,15 +96,15 @@ Word
 StoreBuffer::readMerge(Addr addr, std::uint32_t len,
                        Word underlying) const
 {
-    auto it = lines.find(lineBase(addr));
-    if (it == lines.end())
+    const Line *line = lines.find(lineBase(addr));
+    if (!line)
         return underlying;
     const std::uint32_t off = addr & (config.lineBytes - 1);
     Word out = 0;
     for (std::uint32_t b = 0; b < len; ++b) {
         std::uint8_t byte;
-        if (it->second.mask & (1u << (off + b)))
-            byte = it->second.bytes[off + b];
+        if (line->mask & (1u << (off + b)))
+            byte = line->bytes[off + b];
         else
             byte = static_cast<std::uint8_t>(underlying >> (8 * b));
         out |= static_cast<Word>(byte) << (8 * b);
@@ -115,7 +116,7 @@ void
 StoreBuffer::drainTo(MainMemory &mem)
 {
     JRPM_HPROF(BufferDrain);
-    for (const auto &[base, line] : lines) {
+    lines.forEach([&](Addr base, const Line &line) {
         for (std::uint32_t b = 0; b < config.lineBytes; ++b) {
             if (line.mask & (1u << b)) {
                 if (mem.valid(base + b))
@@ -125,14 +126,16 @@ StoreBuffer::drainTo(MainMemory &mem)
                 // the CPU faults first.
             }
         }
-    }
+    });
     lines.clear();
+    writeSig.clear();
 }
 
 void
 StoreBuffer::clear()
 {
     lines.clear();
+    writeSig.clear();
 }
 
 std::vector<Addr>
@@ -140,8 +143,7 @@ StoreBuffer::bufferedLines() const
 {
     std::vector<Addr> out;
     out.reserve(lines.size());
-    for (const auto &[base, line] : lines)
-        out.push_back(base);
+    lines.forEach([&](Addr base, const Line &) { out.push_back(base); });
     return out;
 }
 
@@ -159,16 +161,18 @@ SpecTags::recordLoad(Addr addr, bool locally_written)
 {
     const Addr word = wordBase(addr);
     std::uint8_t &flags = wordFlags[word];
-    if (!locally_written && !(flags & kWritten))
+    if (!locally_written && !(flags & kWritten)) {
         flags |= kRead;
+        readSig.insert(word);
+    }
 
     const Addr line = lineBase(addr);
-    if (readLines.insert(line).second) {
+    if (readLines.insert(line)) {
         std::uint32_t &count = readLinesPerSet[setOf(addr)];
         if (count >= config.loadBufferAssoc ||
             totalReadLines >= config.loadBufferLines) {
             // Can't pin the line: speculative state overflow.
-            readLines.erase(line);
+            readLines.cancelInsert(line);
             return false;
         }
         ++count;
@@ -182,13 +186,24 @@ SpecTags::forceRecordLoad(Addr addr, bool locally_written)
 {
     const Addr word = wordBase(addr);
     std::uint8_t &flags = wordFlags[word];
-    if (!locally_written && !(flags & kWritten))
+    if (!locally_written && !(flags & kWritten)) {
         flags |= kRead;
+        readSig.insert(word);
+    }
     const Addr line = lineBase(addr);
-    if (readLines.insert(line).second) {
+    if (readLines.insert(line)) {
         ++readLinesPerSet[setOf(addr)];
         ++totalReadLines;
     }
+}
+
+bool
+SpecTags::canRecordLoad(Addr addr) const
+{
+    if (readLines.contains(lineBase(addr)))
+        return true;
+    return readLinesPerSet[setOf(addr)] < config.loadBufferAssoc &&
+           totalReadLines < config.loadBufferLines;
 }
 
 void
@@ -200,15 +215,15 @@ SpecTags::recordStore(Addr addr)
 bool
 SpecTags::readBeforeWrite(Addr addr) const
 {
-    auto it = wordFlags.find(wordBase(addr));
-    return it != wordFlags.end() && (it->second & kRead);
+    const std::uint8_t *flags = wordFlags.find(wordBase(addr));
+    return flags && (*flags & kRead);
 }
 
 bool
 SpecTags::writtenLocally(Addr addr) const
 {
-    auto it = wordFlags.find(wordBase(addr));
-    return it != wordFlags.end() && (it->second & kWritten);
+    const std::uint8_t *flags = wordFlags.find(wordBase(addr));
+    return flags && (*flags & kWritten);
 }
 
 void
@@ -218,6 +233,7 @@ SpecTags::clear()
     readLines.clear();
     std::fill(readLinesPerSet.begin(), readLinesPerSet.end(), 0);
     totalReadLines = 0;
+    readSig.clear();
 }
 
 } // namespace jrpm

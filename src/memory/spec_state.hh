@@ -15,10 +15,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_addr.hh"
 #include "common/types.hh"
 
 namespace jrpm
@@ -37,6 +36,56 @@ struct SpecBufferConfig
 
 /** Coverage of a buffered read. */
 enum class Coverage { None, Partial, Full };
+
+/**
+ * Conservative membership filter over addresses (a one-hash Bloom
+ * bitset).  Inserted keys always test positive (no false negatives);
+ * aliasing can yield false positives, which cost only a fallback to
+ * the exact scan they guard.  Sized so clear() is a small memset.
+ */
+template <unsigned BitsLog2>
+class AddrSignature
+{
+  public:
+    void
+    insert(Addr key)
+    {
+        const std::uint64_t b = bitOf(key);
+        words[b >> 6] |= 1ull << (b & 63);
+        nonEmpty = true;
+    }
+
+    bool
+    mayContain(Addr key) const
+    {
+        if (!nonEmpty)
+            return false;
+        const std::uint64_t b = bitOf(key);
+        return (words[b >> 6] >> (b & 63)) & 1;
+    }
+
+    void
+    clear()
+    {
+        if (!nonEmpty)
+            return;
+        words.fill(0);
+        nonEmpty = false;
+    }
+
+  private:
+    static std::uint64_t
+    bitOf(Addr key)
+    {
+        // Fibonacci hash: line/word bases are multiples of a power of
+        // two, so the multiply spreads them over the full bit range.
+        return (static_cast<std::uint64_t>(key) *
+                0x9E3779B97F4A7C15ull) >> (64 - BitsLog2);
+    }
+
+    std::array<std::uint64_t, (1u << BitsLog2) / 64> words{};
+    bool nonEmpty = false;
+};
 
 /**
  * Speculative store buffer: holds a thread's writes at byte
@@ -76,6 +125,18 @@ class StoreBuffer
     std::size_t lineCount() const { return lines.size(); }
     bool empty() const { return lines.empty(); }
 
+    /**
+     * True if the buffer *may* hold bytes of the line containing
+     * @p addr (write-set signature probe).  Never false when the line
+     * is buffered; a false positive only sends the caller to the
+     * exact coverage scan.
+     */
+    bool
+    writeSigHit(Addr addr) const
+    {
+        return writeSig.mayContain(lineBase(addr));
+    }
+
     /** Distinct buffered line addresses (TEST reuses the buffers). */
     std::vector<Addr> bufferedLines() const;
 
@@ -104,7 +165,10 @@ class StoreBuffer
 
     SpecBufferConfig config;
     std::uint32_t lineLimit = 0;              ///< 0 = configured cap
-    std::unordered_map<Addr, Line> lines;     ///< keyed by line base
+    FlatAddrMap<Line> lines{128};             ///< keyed by line base
+    /** Line-granular write-set signature: 1024 bits covers the 64-line
+     *  hardware buffer at a ~6% worst-case fill. */
+    AddrSignature<10> writeSig;
 
     Addr lineBase(Addr addr) const
     {
@@ -148,6 +212,25 @@ class SpecTags
     /** True if this thread wrote any byte of the word at @p addr. */
     bool writtenLocally(Addr addr) const;
 
+    /**
+     * True if this thread *may* have read the word containing @p addr
+     * before writing it (read-set signature probe).  Never false when
+     * readBeforeWrite() is true; a false positive only sends the
+     * caller to the exact per-word broadcast.
+     */
+    bool
+    readSigHit(Addr addr) const
+    {
+        return readSig.mayContain(wordBase(addr));
+    }
+
+    /**
+     * True if recordLoad(addr, false) would succeed without
+     * overflowing the load buffer (the line is already pinned or
+     * capacity remains); does not modify state.
+     */
+    bool canRecordLoad(Addr addr) const;
+
     /** Clear all tag bits (end of iteration / squash). */
     void clear();
 
@@ -159,11 +242,14 @@ class SpecTags
 
     SpecBufferConfig config;
     std::uint32_t numSets;
-    std::unordered_map<Addr, std::uint8_t> wordFlags;
+    FlatAddrMap<std::uint8_t> wordFlags{8192};
     /** per-L1-set count of distinct speculatively-read lines */
     std::vector<std::uint32_t> readLinesPerSet;
-    std::unordered_set<Addr> readLines;
+    FlatAddrSet readLines{1024};
     std::size_t totalReadLines = 0;
+    /** Word-granular read-set signature: 8192 bits covers the 4096
+     *  words a maximally-pinned load buffer can flag as RAW-read. */
+    AddrSignature<13> readSig;
 
     Addr wordBase(Addr addr) const { return addr & ~3u; }
     Addr lineBase(Addr addr) const

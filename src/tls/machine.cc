@@ -22,6 +22,21 @@ sext(Word v, unsigned bits)
     return (v ^ m) - m;
 }
 
+/** Classify a data-memory op: direction and access width. */
+bool
+memOpClass(Op op, bool &store, std::uint32_t &len)
+{
+    switch (op) {
+      case Op::LW: case Op::LWNV: store = false; len = 4; return true;
+      case Op::LH: case Op::LHU:  store = false; len = 2; return true;
+      case Op::LB: case Op::LBU:  store = false; len = 1; return true;
+      case Op::SW: store = true; len = 4; return true;
+      case Op::SH: store = true; len = 2; return true;
+      case Op::SB: store = true; len = 1; return true;
+      default: return false;
+    }
+}
+
 } // namespace
 
 const char *
@@ -52,6 +67,7 @@ Machine::Machine(const SystemConfig &config)
     fastPathOk = cfg.numCpus != 0 &&
                  (cfg.numCpus & (cfg.numCpus - 1)) == 0;
     burstRunners.reserve(cfg.numCpus);
+    roundMem.reserve(cfg.numCpus);
 }
 
 void
@@ -156,6 +172,8 @@ Machine::frameReady(Core &c)
         c.frameGen != code.generation()) {
         const NativeCode &m = code.method(c.pc.method);
         c.frameBase = m.insts.data();
+        c.frameSpecClass = m.specClass.data();
+        c.frameLinearRun = m.linearRun.data();
         c.frameLen = static_cast<std::uint32_t>(m.insts.size());
         c.frameMethod = c.pc.method;
         c.frameGen = code.generation();
@@ -164,31 +182,163 @@ Machine::frameReady(Core &c)
 }
 
 bool
-Machine::burstStop(const Core &c, const Inst &inst, bool spec) const
+Machine::burstStop(const Inst &inst) const
 {
-    switch (inst.op) {
-      case Op::SCOP:
-      case Op::SMEM:
-        // Speculation control reorders cross-core state (commits,
-        // wakeups, parks); always resolved through step().
-        return true;
-      case Op::LW: case Op::LB: case Op::LBU: case Op::LH:
-      case Op::LHU: case Op::LWNV: case Op::SW: case Op::SB:
-      case Op::SH:
-      case Op::TRAP:
-      case Op::MTC2:
-      case Op::HALT:
-        // Under speculation these can touch shared state (violation
-        // broadcast, buffers, CP2, runtime); sequentially they are
-        // cycle-exact inside a burst.
-        return spec;
-      case Op::JR:
-        return spec && c.regs[inst.rs] == kReturnSentinel;
-      case Op::DIV: case Op::REM: case Op::DIVU: case Op::REMU:
-        return spec && c.regs[inst.rt] == 0;
-      default:
+    // Speculation control reorders cross-core state (commits,
+    // wakeups, parks); always resolved through step().  Everything
+    // else is core-local outside speculation.
+    return inst.op == Op::SCOP || inst.op == Op::SMEM;
+}
+
+bool
+Machine::memEligibleFast(const Core &c, Op op, bool store, Addr addr,
+                         std::uint32_t len) const
+{
+    if (!cfg.specMemFastPath)
         return false;
+    if (c.mode != CpuMode::Speculative || c.directMode)
+        return false;
+    if (addr % len != 0 || !mem.valid(addr, len))
+        return false; // would fault: keep the exact dispatch order
+    if (store) {
+        if (c.buffer.wouldOverflow(addr))
+            return false;
+        // Provably victim-free: the stored word misses every
+        // more-speculative core's read-set signature, so the
+        // violation broadcast cannot squash anyone mid-window.
+        for (const auto &d : cores) {
+            if (d.id == c.id || d.mode != CpuMode::Speculative ||
+                d.iteration <= c.iteration)
+                continue;
+            if (d.tags.readSigHit(addr))
+                return false;
+        }
+        return true;
     }
+    // Loads: forwarding must be resolvable locally -- no
+    // less-speculative buffer may hold the line...
+    for (const auto &d : cores) {
+        if (d.id == c.id || d.mode != CpuMode::Speculative ||
+            d.iteration >= c.iteration)
+            continue;
+        if (d.buffer.writeSigHit(addr))
+            return false;
+    }
+    // ...and tracking the read must not overflow the load buffer
+    // (LWNV never records; locally-written words re-pin their line
+    // best-effort, exactly like the reference path).
+    if (op != Op::LWNV && !c.tags.writtenLocally(addr) &&
+        !c.tags.canRecordLoad(addr))
+        return false;
+    return true;
+}
+
+bool
+Machine::roundApprove()
+{
+    roundMem.clear();
+    bool haveStore = false;
+    bool haveLoad = false;
+    const std::size_t nRunners = burstRunners.size();
+    for (std::size_t ri = 0; ri < nRunners; ++ri) {
+        Core *r = burstRunners[ri];
+        if (r->runLeft)
+            continue; // mid-run: approved through the run's last op
+        // A runner that gained a stall (cache miss, same-round
+        // forward) ran its whole round exactly; the window just
+        // cannot open another one.  Squashes cannot happen in-window
+        // (eligible stores are victim-free), but stay defensive.
+        if (r->stall != StallKind::None || r->squashed ||
+            !frameReady(*r))
+            return false;
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(r->pc.index);
+        const std::uint8_t lin = r->frameLinearRun[idx];
+        if (lin) {
+            // Straight-line transparent ops: no stall, no shared
+            // state, no pc surprise until the run's last op.  The
+            // whole run is approved with this one byte load; the
+            // runner is not looked at again until the run ends.
+            r->runLeft = lin;
+            continue;
+        }
+        // A data-checked op that cannot change the pc extends its
+        // approval into the transparent run that follows it, so the
+        // runner skips a whole approval barrier per op.
+        auto approveThrough = [&](std::uint32_t after) {
+            const std::uint8_t cont =
+                after < r->frameLen ? r->frameLinearRun[after]
+                                    : std::uint8_t{0};
+            r->runLeft = cont >= 255
+                             ? std::uint8_t{255}
+                             : static_cast<std::uint8_t>(cont + 1);
+        };
+        switch (r->frameSpecClass[idx]) {
+          case kSpecExact:
+            // Speculation control, traps, CP2 writes, halts: the
+            // runtime and the shared write bus are order-sensitive.
+            r->runLeft = 1;
+            return false;
+          case kSpecJr:
+            // The jump target is unknown until the op executes:
+            // one round, then re-approve at the new pc.
+            r->runLeft = 1;
+            if (r->regs[r->frameBase[idx].rs] == kReturnSentinel)
+                return false;
+            break;
+          case kSpecDiv:
+            // Core-local once the divisor is proven nonzero; falls
+            // straight through into the following run.
+            approveThrough(idx + 1);
+            if (r->regs[r->frameBase[idx].rt] == 0) {
+                r->runLeft = 1;
+                return false;
+            }
+            break;
+          case kSpecMem: {
+            const Inst &inst = r->frameBase[idx];
+            bool store = false;
+            std::uint32_t len = 0;
+            memOpClass(inst.op, store, len);
+            // The operand registers cannot change between this check
+            // and the op's round (each runner retires exactly the
+            // checked instruction), so the address is final here.
+            const Addr addr =
+                r->regs[inst.rs] + static_cast<Word>(inst.imm);
+            approveThrough(idx + 1);
+            if (!memEligibleFast(*r, inst.op, store, addr, len)) {
+                r->runLeft = 1;
+                return false;
+            }
+            roundMemMask |= 1u << ri;
+            roundMem.push_back({addr & ~3u, r->iteration, store});
+            haveStore |= store;
+            haveLoad |= !store;
+            break;
+          }
+        }
+    }
+    // Eligibility checks each memory op against *committed* signature
+    // state; two ops approved for the same round can still interact
+    // with each other: a store plus a more-speculative load of the
+    // same word (violation if the load lands first, same-cycle
+    // forward if the store does).  Rare: close the window and let
+    // step() order them.  A memory op only ever retires in the round
+    // right after its approval barrier (a run never extends *into*
+    // one), so every same-round pair meets here.  Aligned accesses
+    // of <= 4 bytes overlap only if they share a word.
+    if (haveStore && haveLoad) {
+        for (const RoundMem &a : roundMem) {
+            if (!a.store)
+                continue;
+            for (const RoundMem &b : roundMem) {
+                if (!b.store && b.iteration > a.iteration &&
+                    b.word == a.word)
+                    return false;
+            }
+        }
+    }
+    return true;
 }
 
 void
@@ -247,8 +397,7 @@ Machine::executeBurst(Core &c, std::uint64_t max_insts)
         if (retired >= max_insts || c.stall != StallKind::None ||
             c.mode != CpuMode::Sequential || specActive)
             return retired;
-        if (!frameReady(c) ||
-            burstStop(c, c.frameBase[c.pc.index], false))
+        if (!frameReady(c) || burstStop(c.frameBase[c.pc.index]))
             return retired;
         ++cycle;
     }
@@ -304,8 +453,7 @@ Machine::advanceSequential(std::uint64_t budget)
           case StallKind::None:
             break;
         }
-        if (!frameReady(c) ||
-            burstStop(c, c.frameBase[c.pc.index], false)) {
+        if (!frameReady(c) || burstStop(c.frameBase[c.pc.index])) {
             JRPM_HPROF(StepExact);
             step();
             ++used;
@@ -360,11 +508,7 @@ Machine::advanceSpeculative(std::uint64_t budget)
                 }
                 switch (d.stall) {
                   case StallKind::None:
-                    if (!frameReady(d) ||
-                        burstStop(d, d.frameBase[d.pc.index], true))
-                        slow = true;
-                    else
-                        burstRunners.push_back(&d);
+                    burstRunners.push_back(&d);
                     break;
                   case StallKind::Memory:
                   case StallKind::Trap:
@@ -380,8 +524,19 @@ Machine::advanceSpeculative(std::uint64_t budget)
                 if (slow)
                     break;
             }
+            // First approval of a prospective window: all runner
+            // approvals start from scratch (runLeft is 0 on every
+            // core that was not just mid-window, see the resets).
+            if (!slow && !roundApprove())
+                slow = true;
         }
         if (slow || quiet == 0) {
+            // A failed or unused approval may have granted runs to
+            // earlier runners before rejecting a later one; they must
+            // not survive into an exact step.
+            for (Core *r : burstRunners)
+                r->runLeft = 0;
+            roundMemMask = 0;
             // The "why can't speculative mode batch?" count: this
             // window needed the cycle-exact reference path.
             ++execStats.specSlowSteps;
@@ -401,32 +556,96 @@ Machine::advanceSpeculative(std::uint64_t budget)
         std::uint64_t b = 0;
         {
             JRPM_HPROF(SpecDispatch);
+            inSpecWindow = true;
             ++cycle;
             for (auto &d : cores)
                 noteState(d, specWindowState(d));
+            for (Core *r : burstRunners)
+                r->windowRunner = true;
+            // Rounds execute in segments.  A segment is the longest
+            // stretch every runner is approved for (the minimum of
+            // their remaining runs, capped by the window).  A segment
+            // of pure straight-line transparent instructions is
+            // core-local by construction, so instead of the lockstep
+            // round-robin its rounds execute as one tight consecutive
+            // loop per runner -- same final state, far better host
+            // locality.  Any data-checked op (memory, jr, div)
+            // approves a single round, so segments containing one
+            // degenerate to the exact interleave.  The next approval
+            // only looks at runners whose run expired.
+            Core *const *const runners = burstRunners.data();
+            const std::size_t nRunners = burstRunners.size();
             for (;;) {
-                for (Core *r : burstRunners) {
-                    const Inst &inst = r->frameBase[r->pc.index];
-                    ++r->pc.index;
-                    ++nInsts;
-                    execInst(*r, inst);
-                }
-                ++b;
-                if (b >= k)
-                    break;
-                bool stop = false;
-                for (Core *r : burstRunners) {
-                    if (!frameReady(*r) ||
-                        burstStop(*r, r->frameBase[r->pc.index],
-                                  true)) {
-                        stop = true;
-                        break;
+                std::uint64_t seg = k - b;
+                for (std::size_t i = 0; i < nRunners; ++i)
+                    seg = std::min<std::uint64_t>(
+                        seg, runners[i]->runLeft);
+                // A round that retires a memory op stays a lockstep
+                // interleave even when every approval extends past it
+                // (shared cache state is order-sensitive).
+                if (roundMemMask)
+                    seg = 1;
+                bool expired = false;
+                if (seg > 1) {
+                    // A pc-altering op can only be the last of a run
+                    // (linearRun terminates there), so within the
+                    // segment the stream is consecutive.
+                    for (std::size_t i = 0; i < nRunners; ++i) {
+                        Core *r = runners[i];
+                        const Inst *base = r->frameBase;
+                        for (std::uint64_t j = 0; j < seg; ++j) {
+                            const Inst &inst = base[r->pc.index];
+                            ++r->pc.index;
+                            execInst(*r, inst);
+                        }
+                        expired |= (r->runLeft -= seg) == 0;
+                    }
+                } else {
+                    seg = 1;
+                    for (std::size_t i = 0; i < nRunners; ++i) {
+                        Core *r = runners[i];
+                        const Inst &inst = r->frameBase[r->pc.index];
+                        ++r->pc.index;
+                        execInst(*r, inst);
+                        expired |= --r->runLeft == 0;
                     }
                 }
-                if (stop)
+                b += seg;
+                cycle += seg - 1;
+                // Memory ops checked their stall at approval time in
+                // the single-round scheme; with run extension the
+                // miss is only discoverable now, right after the op's
+                // round.  A stalled runner must not retire another
+                // instruction, so the window closes exactly as if
+                // the next approval had seen the stall.
+                bool memStalled = false;
+                if (roundMemMask) {
+                    std::uint32_t m = roundMemMask;
+                    roundMemMask = 0;
+                    do {
+                        const unsigned i =
+                            static_cast<unsigned>(
+                                __builtin_ctz(m));
+                        m &= m - 1;
+                        memStalled |=
+                            runners[i]->stall != StallKind::None;
+                    } while (m);
+                }
+                if (b >= k)
+                    break;
+                if (memStalled)
+                    break;
+                if (expired && !roundApprove())
                     break;
                 ++cycle;
             }
+            inSpecWindow = false;
+            nInsts += b * nRunners;
+            // No approval outlives its window: the next window (or an
+            // exact step) must re-approve everyone.
+            for (std::size_t i = 0; i < nRunners; ++i)
+                runners[i]->runLeft = 0;
+            roundMemMask = 0;
         }
         execStats.burstSpans.sample(b);
         if (curLs)
@@ -434,7 +653,17 @@ Machine::advanceSpeculative(std::uint64_t budget)
         {
             JRPM_HPROF(EventHorizon);
             const double amt = specShare * static_cast<double>(b);
+            // Runners are classified at window open: one that stalled
+            // in its final round still ran every round, and its
+            // countdown only starts next cycle -- so it must not fall
+            // into the stall-batching switch below.
+            for (Core *r : burstRunners)
+                r->tentativeRun += amt;
             for (auto &d : cores) {
+                if (d.windowRunner) {
+                    d.windowRunner = false;
+                    continue;
+                }
                 if (d.mode == CpuMode::Halted)
                     continue;
                 if (d.mode == CpuMode::Parked) {
@@ -973,7 +1202,6 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
                        : mem.readByte(addr);
         latency = cacheLatency(c, addr, false);
     } else {
-        JRPM_HPROF(ForwardScan);
         // Gather the newest value visible to this thread: memory,
         // overlaid by less-speculative store buffers oldest-first,
         // overlaid by our own buffer.
@@ -987,32 +1215,66 @@ Machine::doLoad(Core &c, Addr addr, std::uint32_t len, bool sign_extend,
 
         bool forwarded = false;
         std::uint64_t supplierIter = 0;
-        // Overlay active earlier threads in iteration order.  With at
-        // most numCpus candidates, selection beats building and
-        // sorting a heap-allocated list on every speculative load.
-        std::uint64_t lastIter = 0;
-        bool haveLast = false;
-        for (;;) {
-            const Core *next = nullptr;
+        // Write-set signature probe: when the line misses every
+        // less-speculative buffer -- the common case -- the whole
+        // overlay scan is provably a no-op and is skipped.  Inside a
+        // burst window the round approval already probed the current
+        // signatures (any prior-round store is visible to it, and a
+        // same-round same-word store closes the window), so the scan
+        // is a proven no-op and is not even probed for; only exact
+        // dispatch counts sig_hits / sig_false_positives.
+        bool mayForward = false;
+        if (!inSpecWindow) {
+            JRPM_HPROF(SigCheck);
             for (const auto &d : cores) {
                 if (d.id == c.id || d.mode != CpuMode::Speculative ||
                     d.iteration >= c.iteration)
                     continue;
-                if (haveLast && d.iteration <= lastIter)
-                    continue;
-                if (!next || d.iteration < next->iteration)
-                    next = &d;
+                if (d.buffer.writeSigHit(addr)) {
+                    mayForward = true;
+                    break;
+                }
             }
-            if (!next)
-                break;
-            if (next->buffer.coverage(addr, len) != Coverage::None) {
-                underlying =
-                    next->buffer.readMerge(addr, len, underlying);
-                forwarded = true;
-                supplierIter = next->iteration;
+        }
+        if (mayForward) {
+            ++execStats.sigHits;
+            if (curLs)
+                ++curLs->sigHits;
+            JRPM_HPROF(ForwardScan);
+            // Overlay active earlier threads in iteration order.  With
+            // at most numCpus candidates, selection beats building and
+            // sorting a heap-allocated list on every speculative load.
+            std::uint64_t lastIter = 0;
+            bool haveLast = false;
+            for (;;) {
+                const Core *next = nullptr;
+                for (const auto &d : cores) {
+                    if (d.id == c.id ||
+                        d.mode != CpuMode::Speculative ||
+                        d.iteration >= c.iteration)
+                        continue;
+                    if (haveLast && d.iteration <= lastIter)
+                        continue;
+                    if (!next || d.iteration < next->iteration)
+                        next = &d;
+                }
+                if (!next)
+                    break;
+                if (next->buffer.coverage(addr, len) !=
+                    Coverage::None) {
+                    underlying =
+                        next->buffer.readMerge(addr, len, underlying);
+                    forwarded = true;
+                    supplierIter = next->iteration;
+                }
+                lastIter = next->iteration;
+                haveLast = true;
             }
-            lastIter = next->iteration;
-            haveLast = true;
+            if (!forwarded) {
+                ++execStats.sigFalsePositives;
+                if (curLs)
+                    ++curLs->sigFalsePositives;
+            }
         }
         raw = c.buffer.readMerge(addr, len, underlying);
 
@@ -1125,6 +1387,32 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
 
     // Violation broadcast: any more-speculative thread that consumed
     // this word too early must restart (write-bus snoop in Hydra).
+    // Inside a burst window the round approval already probed the
+    // read-set signatures (a same-round same-word reader closes the
+    // window), so the broadcast is a proven no-op; only exact
+    // dispatch counts sig_hits / sig_false_positives.
+    if (inSpecWindow)
+        return 0;
+    // Read-set signature probe first: a miss in every more-speculative
+    // core proves no reader and skips the per-word broadcast.
+    bool mayViolate = false;
+    {
+        JRPM_HPROF(SigCheck);
+        for (const auto &d : cores) {
+            if (d.id == c.id || d.mode != CpuMode::Speculative ||
+                d.iteration <= c.iteration)
+                continue;
+            if (d.tags.readSigHit(addr)) {
+                mayViolate = true;
+                break;
+            }
+        }
+    }
+    if (!mayViolate)
+        return 0;
+    ++execStats.sigHits;
+    if (curLs)
+        ++curLs->sigHits;
     JRPM_HPROF(DepCheck);
     Core *victim = nullptr;
     for (auto &d : cores) {
@@ -1137,6 +1425,11 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
                 hit = true;
         if (hit && (!victim || d.iteration < victim->iteration))
             victim = &d;
+    }
+    if (!victim) {
+        ++execStats.sigFalsePositives;
+        if (curLs)
+            ++curLs->sigFalsePositives;
     }
     if (victim) {
         if (fault && fault->dueSuppress(cycle)) {
@@ -1165,6 +1458,25 @@ Machine::doStore(Core &c, Addr addr, std::uint32_t len, Word value,
 
 void
 Machine::execMemOp(Core &c, const Inst &inst)
+{
+    if (inSpecWindow) {
+        // Retiring inside a burst window: the signature check proved
+        // this op cannot fault, overflow or violate here; it may only
+        // gain a stall, which closes the window after this round.
+        // (No profiler scope: this retire path is hot enough that the
+        // disabled-scope check itself is measurable; host cycles land
+        // in the enclosing spec_dispatch slot.)
+        ++execStats.specFastMem;
+        if (curLs)
+            ++curLs->specFastMem;
+        execMemOpImpl(c, inst);
+        return;
+    }
+    execMemOpImpl(c, inst);
+}
+
+void
+Machine::execMemOpImpl(Core &c, const Inst &inst)
 {
     const Addr addr = c.regs[inst.rs] + static_cast<Word>(inst.imm);
     const Pc instPc = {c.pc.method, c.pc.index - 1};
@@ -2080,6 +2392,10 @@ Machine::publishMetrics(MetricsRegistry &reg) const
         reg.counter("tls.spec_window_insts")
             .inc(execStats.burstSpans.sum);
         reg.counter("tls.spec_slow_steps").inc(execStats.specSlowSteps);
+        reg.counter("tls.spec_fast_mem").inc(execStats.specFastMem);
+        reg.counter("tls.sig_hits").inc(execStats.sigHits);
+        reg.counter("tls.sig_false_positives")
+            .inc(execStats.sigFalsePositives);
         reg.counter("tls.forwarded_loads").inc(execStats.forwardedLoads);
         for (std::size_t i = 0; i < kNumSquashCauses; ++i)
             reg.counter(std::string("tls.squash.") + squashCauseName(i))
@@ -2119,6 +2435,9 @@ Machine::publishMetrics(MetricsRegistry &reg) const
         h.specWindows = &reg.counter("tls.spec_windows");
         h.specWindowInsts = &reg.counter("tls.spec_window_insts");
         h.specSlowSteps = &reg.counter("tls.spec_slow_steps");
+        h.specFastMem = &reg.counter("tls.spec_fast_mem");
+        h.sigHits = &reg.counter("tls.sig_hits");
+        h.sigFalsePositives = &reg.counter("tls.sig_false_positives");
         h.forwardedLoads = &reg.counter("tls.forwarded_loads");
         for (std::size_t i = 0; i < kNumSquashCauses; ++i)
             h.squashCauses[i] = &reg.counter(
@@ -2147,6 +2466,9 @@ Machine::publishMetrics(MetricsRegistry &reg) const
     h.specWindows->inc(execStats.burstSpans.count);
     h.specWindowInsts->inc(execStats.burstSpans.sum);
     h.specSlowSteps->inc(execStats.specSlowSteps);
+    h.specFastMem->inc(execStats.specFastMem);
+    h.sigHits->inc(execStats.sigHits);
+    h.sigFalsePositives->inc(execStats.sigFalsePositives);
     h.forwardedLoads->inc(execStats.forwardedLoads);
     for (std::size_t i = 0; i < kNumSquashCauses; ++i)
         h.squashCauses[i]->inc(execStats.squashCauses[i]);
@@ -2168,6 +2490,10 @@ Machine::publishLoopMetrics(MetricsRegistry &reg) const
         reg.counter(p + ".governor_aborts").inc(ls.governorAborts);
         reg.counter(p + ".cycles_inside").inc(ls.cyclesInside);
         reg.counter(p + ".slow_steps").inc(ls.slowSteps);
+        reg.counter(p + ".spec_fast_mem").inc(ls.specFastMem);
+        reg.counter(p + ".sig_hits").inc(ls.sigHits);
+        reg.counter(p + ".sig_false_positives")
+            .inc(ls.sigFalsePositives);
         reg.counter(p + ".forwarded_loads").inc(ls.forwardedLoads);
         reg.counter(p + ".burst_windows").inc(ls.burstSpans.count);
         reg.counter(p + ".burst_insts").inc(ls.burstSpans.sum);

@@ -302,6 +302,9 @@ class Machine
         Counter *specWindows = nullptr;
         Counter *specWindowInsts = nullptr;
         Counter *specSlowSteps = nullptr;
+        Counter *specFastMem = nullptr;
+        Counter *sigHits = nullptr;
+        Counter *sigFalsePositives = nullptr;
         Counter *forwardedLoads = nullptr;
         std::array<Counter *, kNumSquashCauses> squashCauses{};
         std::array<Counter *, kNumAddrClasses> violationsByClass{};
@@ -317,6 +320,32 @@ class Machine
     /** Scratch list of cores executing in the current burst window
      *  (reused across windows to avoid per-window allocation). */
     std::vector<Core *> burstRunners;
+    /** True while a speculative burst window is executing its rounds:
+     *  memory ops reached from there were proved core-local by the
+     *  signature check (spec_fast_mem accounting). */
+    bool inSpecWindow = false;
+    /** One approved memory op of the current round (hazard check). */
+    struct RoundMem
+    {
+        Addr word;
+        std::uint64_t iteration;
+        bool store;
+    };
+    /** Scratch list of the round's approved memory ops (<= numCpus),
+     *  reused across rounds to avoid per-round allocation. */
+    std::vector<RoundMem> roundMem;
+
+    /**
+     * Bit i set: burstRunners[i]'s next round retires an approved
+     * memory op.  That round must execute as a lockstep interleave
+     * (shared cache state is order-sensitive) and the op may gain a
+     * miss stall, which is checked right after the round instead of
+     * at the next approval -- the approval already extends into the
+     * transparent run that follows the op.  Always consumed by the
+     * round after the approval that set it; cleared with runLeft on
+     * every window close and slow fallback.
+     */
+    std::uint32_t roundMemMask = 0;
 
     /**
      * Advance by 1..@p budget cycles with accounting bit-identical to
@@ -335,10 +364,30 @@ class Machine
     /** Revalidate @p c's decoded-frame cache; false if pc is outside
      *  the method (wild pc). */
     bool frameReady(Core &c);
-    /** True if @p inst must take the per-cycle path: speculation
-     *  control always; under @p spec anything not provably
-     *  core-local (memory, traps, halts, faulting divides). */
-    bool burstStop(const Core &c, const Inst &inst, bool spec) const;
+    /** True if @p inst must take the per-cycle path outside
+     *  speculation: speculation control reorders cross-core state. */
+    bool burstStop(const Inst &inst) const;
+    /**
+     * Approve the next round for every runner whose remaining
+     * approved run (Core::runLeft) has expired; false if the window
+     * must close.  A runner sitting on a straight-line transparent
+     * run approves its whole run with one byte load (JIT-side table)
+     * and is not looked at again until the run ends; memory ops run
+     * the signature eligibility check and approve exactly one round,
+     * so every memory op is re-checked against the signatures of the
+     * round it executes in.  Approved same-round store/load pairs to
+     * one word close the window so step() orders them cycle-exactly.
+     * Callers must guarantee runLeft == 0 for all runners on the
+     * first approval of a window (see the reset on window close).
+     */
+    bool roundApprove();
+    /** True if speculative memory op (@p store, @p addr, @p len) may
+     *  retire inside a burst window: it provably cannot fault,
+     *  overflow a buffer, forward from another core or violate a
+     *  reader (write/read-set signature check).  Stalls it *gains*
+     *  (cache misses) close the window after its round instead. */
+    bool memEligibleFast(const Core &c, Op op, bool store, Addr addr,
+                         std::uint32_t len) const;
     /** Emit this cycle's states for a sequential span: @p s for the
      *  sequential CPU, Idle for everyone else, in CPU order. */
     void noteSequentialStates(Core &c, TraceState s);
@@ -349,6 +398,7 @@ class Machine
     void stepCpu(Core &c);
     void execute(Core &c);
     void execMemOp(Core &c, const Inst &inst);
+    void execMemOpImpl(Core &c, const Inst &inst);
     void execScop(Core &c, const Inst &inst);
     void execSmem(Core &c, const Inst &inst);
     void execTrap(Core &c, const Inst &inst);

@@ -85,6 +85,9 @@ sampleCase(std::uint64_t seed)
     cr.specWindows = 9;
     cr.specWindowInsts = 9000;
     cr.specSlowSteps = 11;
+    cr.specFastMem = 4400;
+    cr.sigHits = 77;
+    cr.sigFalsePositives = 13;
     cr.forwardedLoads = 23;
     cr.meanBurst = 812.5;
     for (std::size_t i = 0; i < cr.squashCauses.size(); ++i)
@@ -120,6 +123,9 @@ expectSameCase(const forge::CaseResult &a, const forge::CaseResult &b)
     EXPECT_EQ(a.specWindows, b.specWindows);
     EXPECT_EQ(a.specWindowInsts, b.specWindowInsts);
     EXPECT_EQ(a.specSlowSteps, b.specSlowSteps);
+    EXPECT_EQ(a.specFastMem, b.specFastMem);
+    EXPECT_EQ(a.sigHits, b.sigHits);
+    EXPECT_EQ(a.sigFalsePositives, b.sigFalsePositives);
     EXPECT_EQ(a.forwardedLoads, b.forwardedLoads);
     EXPECT_DOUBLE_EQ(a.meanBurst, b.meanBurst);
     EXPECT_EQ(a.squashCauses, b.squashCauses);

@@ -457,6 +457,31 @@ TEST(ForgeCampaign, WorkerCountDoesNotChangeResults)
     }
 }
 
+// ---- speculative fast-path differential ------------------------------
+
+TEST(ForgeDifferential, FastPathOnOffSemanticallyIdentical)
+{
+    // Tier-1 slice of the release equivalence campaign (the bench
+    // runs >= 200 cases via --diff-fastpath): each scenario runs the
+    // full pipeline with the signature fast path forced on and forced
+    // off, and everything the simulated machine can observe — cycles,
+    // Fig. 10 buckets, violations, forwarding, cache counters, VM
+    // output, the strict oracle's memory checksum — must match
+    // bit-for-bit, for the pipeline run and every forced
+    // decomposition.
+    forge::CampaignConfig cc;
+    cc.cases = 12;
+    cc.seed = 0xd1ff;
+    cc.base = strictConfig();
+    const forge::DifferentialResult res =
+        forge::runFastPathDifferential(cc);
+    EXPECT_TRUE(res.clean()) << res.summary();
+    EXPECT_EQ(res.cases, 12u);
+    // The differential is vacuous unless the on-runs actually took
+    // the fast path.
+    EXPECT_GT(res.fastMemRetired, 0u) << res.summary();
+}
+
 // ---- regressions for bugs the forge found ----------------------------
 
 TEST(ForgeRegression, InlinedCallWithCatchTableInSameMethod)
