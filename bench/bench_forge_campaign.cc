@@ -9,6 +9,10 @@
  *                by default), optionally composed with --fault-plan;
  *                failing cases are shrunk and written to
  *                --corpus-out.  Exit 1 on any failing case.
+ *                --guided turns on coverage-guided generation
+ *                (behaviour-signature novelty feedback, weights.hh);
+ *                --distill=<dir> reduces the observed campaign to a
+ *                minimal corpus covering every behaviour signature.
  *
  *  --replay=<dir>      replay every corpus entry: reject version /
  *                      checksum mismatches, verify the rendered
@@ -73,6 +77,8 @@
 #include "forge/corpus.hh"
 #include "forge/forge.hh"
 #include "forge/shrink.hh"
+#include "forge/signature.hh"
+#include "forge/weights.hh"
 
 namespace jrpm
 {
@@ -124,8 +130,14 @@ replayEntry(const std::string &path, const JrpmConfig &cfg)
 {
     CorpusEntry e;
     std::string err;
-    if (!forge::readCorpusEntry(path, e, &err))
-        return "load: " + err;
+    forge::CorpusError kind = forge::CorpusError::None;
+    if (!forge::readCorpusEntry(path, e, &err, &kind)) {
+        const char *k =
+            kind == forge::CorpusError::Version      ? "version"
+            : kind == forge::CorpusError::FutureAxes ? "future-axes"
+                                                     : "format";
+        return strfmt("load(%s): %s", k, err.c_str());
+    }
     const std::uint64_t have = hashProgram(forge::render(e.spec));
     if (have != e.programHash)
         return strfmt("program hash drift (file 0x%016" PRIx64
@@ -283,11 +295,21 @@ workerMain(const Options &opt)
     }
 
     const std::uint32_t axes = forge::parseAxes(opt.axes);
+    // Guided fleet batches: the supervisor hands us the weight bank
+    // its batch entered with, so generateWeighted() here derives the
+    // exact specs the in-process guided campaign would.
+    forge::WeightBank bank;
+    const bool weighted = !opt.weights.empty();
+    if (weighted &&
+        !forge::WeightBank::deserialize(opt.weights, bank))
+        fatal("bad --weights '%s'", opt.weights.c_str());
     for (std::uint64_t s = lo; s < hi; ++s) {
         // "Starting" marks the suspect seed if we die mid-case.
         std::printf("S %016" PRIx64 "\n", s);
         std::fflush(stdout);
-        const ScenarioSpec spec = forge::generate(s, axes);
+        const ScenarioSpec spec =
+            weighted ? forge::generateWeighted(s, axes, bank)
+                     : forge::generate(s, axes);
         if (abortSeedHit(spec.seed))
             std::abort();
 
@@ -303,6 +325,7 @@ workerMain(const Options &opt)
             cr.stmts =
                 static_cast<std::uint32_t>(spec.body.size());
             cr.error = e.what();
+            cr.sigHash = forge::signatureOf(cr).hash();
         }
         cr.wallMs = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
@@ -354,6 +377,24 @@ dumpFinalMetrics(const Options &opt)
     MetricsRegistry::global().writeFile(p, json);
 }
 
+/** --distill: reduce a finished campaign to the minimal corpus that
+ *  covers every observed behaviour signature. */
+void
+maybeDistill(const Options &opt, const forge::CampaignConfig &cc,
+             const forge::CampaignResult &res)
+{
+    if (opt.distillDir.empty())
+        return;
+    forge::DistillConfig dc;
+    dc.outDir = opt.distillDir;
+    const forge::DistillResult dr =
+        forge::distillCampaign(cc, res, dc);
+    std::printf("distilled: %u signatures -> %u entries "
+                "(%u shrink probes) under %s\n",
+                dr.observedSignatures, dr.entries, dr.shrinkProbes,
+                opt.distillDir.c_str());
+}
+
 int
 diffFastPathMain(const Options &opt)
 {
@@ -391,6 +432,8 @@ fleetMain(const Options &opt, const char *argv0)
     fc.campaign.axes = forge::parseAxes(opt.axes);
     fc.campaign.corpusOut = opt.corpusOut;
     fc.campaign.forcedSweep = !opt.noForcedSweep;
+    fc.campaign.guided = opt.guided;
+    fc.campaign.guidedBatch = opt.guidedBatch;
     fc.campaign.base = forgeConfig(opt);
     fc.workers = opt.jobs;
     fc.caseTimeoutMs = opt.caseTimeoutMs;
@@ -425,6 +468,7 @@ fleetMain(const Options &opt, const char *argv0)
                 fc.chaosKillMs ? " [chaos]" : "");
     const forge::CampaignResult res = fleet::runFleet(fc);
     std::printf("%s", res.summary().c_str());
+    maybeDistill(opt, fc.campaign, res);
     if (!opt.analyticsOut.empty() &&
         forge::writeCampaignAnalytics(opt.analyticsOut, fc.campaign,
                                       res))
@@ -460,10 +504,12 @@ campaignMain(int argc, char **argv)
     cc.axes = forge::parseAxes(opt.axes);
     cc.corpusOut = opt.corpusOut;
     cc.forcedSweep = !opt.noForcedSweep;
+    cc.guided = opt.guided;
+    cc.guidedBatch = opt.guidedBatch;
     cc.base = forgeConfig(opt);
 
     std::printf("forge campaign: %u cases, seed 0x%" PRIx64
-                ", axes %s, oracle %s%s%s, %u jobs\n",
+                ", axes %s, oracle %s%s%s, %u jobs%s\n",
                 cc.cases, cc.seed,
                 forge::axesDescribe(cc.axes).c_str(),
                 oracleModeName(cc.base.oracle.mode),
@@ -471,9 +517,11 @@ campaignMain(int argc, char **argv)
                 cc.base.faultPlan.empty()
                     ? ""
                     : cc.base.faultPlan.describe().c_str(),
-                cc.jobs);
+                cc.jobs,
+                cc.guided ? ", guided" : "");
     const forge::CampaignResult res = forge::runCampaign(cc);
     std::printf("%s", res.summary().c_str());
+    maybeDistill(opt, cc, res);
     if (!opt.analyticsOut.empty() &&
         forge::writeCampaignAnalytics(opt.analyticsOut, cc, res))
         std::printf("analytics: %s\n", opt.analyticsOut.c_str());

@@ -123,6 +123,17 @@ parseArgs(int argc, char **argv)
                       opt.specFastPath.c_str());
         } else if (!std::strcmp(argv[i], "--diff-fastpath")) {
             opt.diffFastPath = true;
+        } else if (!std::strcmp(argv[i], "--guided")) {
+            opt.guided = true;
+        } else if (!std::strncmp(argv[i], "--guided-batch=", 15)) {
+            opt.guidedBatch = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 15, nullptr, 10));
+            if (opt.guidedBatch == 0)
+                opt.guidedBatch = 1;
+        } else if (!std::strncmp(argv[i], "--distill=", 10)) {
+            opt.distillDir = argv[i] + 10;
+        } else if (!std::strncmp(argv[i], "--weights=", 10)) {
+            opt.weights = argv[i] + 10;
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [--quick] [--only=<benchmark>] "
                         "[--list] [--jobs=<n>] [--repo=<dir>] "
@@ -141,7 +152,9 @@ parseArgs(int argc, char **argv)
                         "[--chaos-kill-ms=<n>] [--forensics=<dir>] "
                         "[--no-forced-sweep] "
                         "[--spec-fastpath=on|off] "
-                        "[--diff-fastpath]\n",
+                        "[--diff-fastpath] [--guided] "
+                        "[--guided-batch=<n>] [--distill=<dir>] "
+                        "[--weights=<bank>]\n",
                         argv[0]);
             std::exit(0);
         } else {

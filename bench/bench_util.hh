@@ -25,6 +25,10 @@
  *   --no-forced-sweep    skip the per-loop forced speculation pass
  *   --spec-fastpath=on|off  force the speculative memory fast path
  *   --diff-fastpath      fast-path on/off equivalence campaign
+ *   --guided             coverage-guided generation (forge campaign)
+ *   --guided-batch=<n>   cases per guided weight-update batch
+ *   --distill=<dir>      distill the campaign to a signature corpus
+ *   --weights=<bank>     worker-mode weight bank (fleet internal)
  */
 
 #ifndef JRPM_BENCH_BENCH_UTIL_HH
@@ -82,6 +86,11 @@ struct Options
     /** --diff-fastpath: fast-path on/off equivalence campaign
      *  (bench_forge_campaign). */
     bool diffFastPath = false;
+    // Coverage-guided forge flags (bench_forge_campaign).
+    bool guided = false;            ///< --guided
+    std::uint32_t guidedBatch = 32; ///< --guided-batch=<n>
+    std::string distillDir;         ///< --distill=<dir>
+    std::string weights;            ///< --weights=<bank> (worker)
 };
 
 /** Parses flags; handles --help and --list (both print and exit).

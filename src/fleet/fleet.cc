@@ -9,7 +9,9 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <unordered_set>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -23,6 +25,8 @@
 #include "fleet/wire.hh"
 #include "forge/corpus.hh"
 #include "forge/shrink.hh"
+#include "forge/signature.hh"
+#include "forge/weights.hh"
 
 namespace jrpm
 {
@@ -167,13 +171,15 @@ std::string
 fleetConfigIdentity(const forge::CampaignConfig &cfg)
 {
     return strfmt("seed %016llx cases %u axes %08x forced %d "
-                  "oracle %d faults %s",
+                  "oracle %d faults %s guided %d gbatch %u",
                   static_cast<unsigned long long>(cfg.seed),
                   cfg.cases, cfg.axes, cfg.forcedSweep ? 1 : 0,
                   static_cast<int>(cfg.base.oracle.mode),
                   cfg.base.faultPlan.empty()
                       ? "none"
-                      : cfg.base.faultPlan.describe().c_str());
+                      : cfg.base.faultPlan.describe().c_str(),
+                  cfg.guided ? 1 : 0,
+                  cfg.guided ? cfg.guidedBatch : 0);
 }
 
 forge::CampaignResult
@@ -211,24 +217,27 @@ runFleet(const FleetConfig &cfg)
                manifest.completed().size(),
                manifest.poisoned().size());
 
-    // Uncovered seeds → contiguous work items.  Chunk them so a
-    // dying worker forfeits at most a chunk, and so several workers
-    // share even a freshly started campaign.
     std::deque<WorkItem> pending;
-    {
+    // Extra per-spawn worker arguments; guided mode points workers
+    // at the current batch's weight bank.
+    std::vector<std::string> extraWorkerArgs;
+
+    // Uncovered seeds in [lo, hi) → contiguous work items.  Chunk
+    // them so a dying worker forfeits at most a chunk, and so
+    // several workers share even a freshly started campaign.
+    auto enqueueUncovered = [&](std::uint64_t lo, std::uint64_t hi) {
         const std::uint64_t chunk = std::max<std::uint64_t>(
             1, camp.cases / std::max<std::uint32_t>(
                                 1, cfg.workers * 4));
         std::uint64_t runStart = 0;
         bool inRun = false;
         auto flushRun = [&](std::uint64_t end) {
-            for (std::uint64_t lo = runStart; lo < end; lo += chunk)
+            for (std::uint64_t s = runStart; s < end; s += chunk)
                 pending.push_back(
-                    {lo, std::min(end, lo + chunk), 0, {}});
+                    {s, std::min(end, s + chunk), 0, {}});
             inRun = false;
         };
-        for (std::uint64_t s = camp.seed;
-             s < camp.seed + camp.cases; ++s) {
+        for (std::uint64_t s = lo; s < hi; ++s) {
             const bool covered = manifest.completed().count(s) ||
                                  manifest.poisoned().count(s);
             if (covered && inRun)
@@ -239,8 +248,8 @@ runFleet(const FleetConfig &cfg)
             }
         }
         if (inRun)
-            flushRun(camp.seed + camp.cases);
-    }
+            flushRun(hi);
+    };
 
     const std::uint32_t maxWorkers = std::max(1u, cfg.workers);
     std::vector<Worker> live;
@@ -253,13 +262,14 @@ runFleet(const FleetConfig &cfg)
     auto spawn = [&](const WorkItem &item) {
         Worker w;
         w.item = item;
-        w.pid = spawnPiped(
-            cfg.workerCmd,
-            {strfmt("--worker-range=%s:%s:%u",
-                    seedHex(item.lo).c_str(),
-                    seedHex(item.hi).c_str(), item.attempt),
-             "--forensics=" + forensics},
-            w.fd);
+        std::vector<std::string> extra = {
+            strfmt("--worker-range=%s:%s:%u",
+                   seedHex(item.lo).c_str(),
+                   seedHex(item.hi).c_str(), item.attempt),
+            "--forensics=" + forensics};
+        extra.insert(extra.end(), extraWorkerArgs.begin(),
+                     extraWorkerArgs.end());
+        w.pid = spawnPiped(cfg.workerCmd, extra, w.fd);
         if (w.pid < 0)
             fatal("fleet: cannot spawn worker");
         w.deadline = Clock::now() +
@@ -375,7 +385,10 @@ runFleet(const FleetConfig &cfg)
         handleDeath(w, describeStatus(status));
     };
 
-    while (!pending.empty() || !live.empty()) {
+    // Run the scheduler until every pending item (and retries it
+    // spawns) has completed or been quarantined.
+    auto drain = [&]() {
+        while (!pending.empty() || !live.empty()) {
         // Keep the fleet saturated.  Items still in backoff rotate
         // to the back so ready work is never starved behind them.
         const auto now = Clock::now();
@@ -468,6 +481,76 @@ runFleet(const FleetConfig &cfg)
                 // the ordinary death path.
             }
         }
+        }
+    };
+
+    // Guided scenarios by seed; empty for unguided campaigns (their
+    // specs always re-derive from the seed alone).
+    std::map<std::uint64_t, forge::ScenarioSpec> guidedSpecs;
+    auto specOf = [&](std::uint64_t s) -> forge::ScenarioSpec {
+        const auto it = guidedSpecs.find(s);
+        return it != guidedSpecs.end()
+                   ? it->second
+                   : forge::generate(s, camp.axes);
+    };
+
+    std::string finalBank;
+    if (!camp.guided) {
+        enqueueUncovered(camp.seed, camp.seed + camp.cases);
+        drain();
+    } else {
+        // Batch-synchronous guided loop, mirroring the in-process
+        // one: every scenario in a batch derives under the bank
+        // entering the batch, workers receive that bank via
+        // --weights, and the supervisor folds the batch's
+        // signatures (from the manifest, in seed order; poison
+        // cases never completed and are excluded) into one update
+        // at the barrier.  Each barrier checkpoints the manifest,
+        // so the journaled bank is rebroadcast at exactly the
+        // checkpoint boundaries.  A resumed campaign replays the
+        // same trajectory: completed batches re-fold from recorded
+        // signatures without running anything.
+        forge::WeightBank bank;
+        std::unordered_set<std::uint64_t> seen;
+        const std::uint32_t gb = std::max(camp.guidedBatch, 1u);
+        for (std::uint64_t lo = camp.seed;
+             lo < camp.seed + camp.cases; lo += gb) {
+            const std::uint64_t hi =
+                std::min(camp.seed + camp.cases, lo + gb);
+            const std::uint32_t batchIdx =
+                static_cast<std::uint32_t>((lo - camp.seed) / gb);
+
+            const std::string ser = bank.serialize();
+            const auto prev = manifest.weights().find(batchIdx);
+            if (prev != manifest.weights().end() &&
+                prev->second != ser)
+                fatal("fleet: guided resume diverged at batch %u "
+                      "(journal '%s', recomputed '%s')",
+                      batchIdx, prev->second.c_str(), ser.c_str());
+            if (prev == manifest.weights().end())
+                manifest.recordWeights(batchIdx, ser);
+
+            for (std::uint64_t s = lo; s < hi; ++s)
+                guidedSpecs.emplace(
+                    s, forge::generateWeighted(s, camp.axes, bank));
+
+            extraWorkerArgs = {"--weights=" + ser};
+            enqueueUncovered(lo, hi);
+            drain();
+            manifest.checkpoint();
+            sinceCheckpoint = 0;
+
+            std::vector<std::pair<std::uint32_t, std::uint64_t>> obs;
+            for (std::uint64_t s = lo; s < hi; ++s) {
+                const auto done = manifest.completed().find(s);
+                if (done == manifest.completed().end())
+                    continue;
+                obs.emplace_back(forge::kindsOf(guidedSpecs.at(s)),
+                                 done->second.sigHash);
+            }
+            forge::applyBatch(bank, seen, obs);
+        }
+        finalBank = bank.serialize();
     }
 
     // Quarantine forensics: ddmin-shrink every poison case without a
@@ -478,8 +561,7 @@ runFleet(const FleetConfig &cfg)
         for (const auto &[seed, p] : manifest.poisoned()) {
             if (!p.reproPath.empty())
                 continue;
-            const forge::ScenarioSpec spec =
-                forge::generate(seed, camp.axes);
+            const forge::ScenarioSpec spec = specOf(seed);
             inform("fleet: shrinking quarantined seed %s (%zu "
                    "stmts)...",
                    seedHex(seed).c_str(), spec.body.size());
@@ -527,8 +609,11 @@ runFleet(const FleetConfig &cfg)
     forge::CampaignResult res;
     res.cases = camp.cases;
     res.results.reserve(camp.cases);
+    res.specs.reserve(camp.cases);
     for (std::uint64_t s = camp.seed; s < camp.seed + camp.cases;
          ++s) {
+        res.specs.push_back(specOf(s));
+        const forge::ScenarioSpec &spec = res.specs.back();
         const auto done = manifest.completed().find(s);
         if (done != manifest.completed().end()) {
             res.results.push_back(done->second);
@@ -536,8 +621,6 @@ runFleet(const FleetConfig &cfg)
             const auto poisoned = manifest.poisoned().find(s);
             forge::CaseResult cr;
             cr.seed = s;
-            const forge::ScenarioSpec spec =
-                forge::generate(s, camp.axes);
             cr.axes = spec.axes();
             cr.stmts =
                 static_cast<std::uint32_t>(spec.body.size());
@@ -548,16 +631,24 @@ runFleet(const FleetConfig &cfg)
                                     poisoned->second.attempts,
                                     poisoned->second.cause.c_str())
                            : "never completed";
+            cr.sigHash = forge::signatureOf(cr).hash();
             res.results.push_back(std::move(cr));
         }
+    }
+    res.weightBank = finalBank;
+    {
+        std::unordered_set<std::uint64_t> sigs;
+        for (const forge::CaseResult &cr : res.results)
+            sigs.insert(cr.sigHash);
+        res.distinctSignatures =
+            static_cast<std::uint32_t>(sigs.size());
     }
     for (const forge::CaseResult &cr : res.results) {
         forge::tallyCase(res, cr, faultsActive);
         if (!cr.failing(faultsActive))
             continue;
         ++res.failures;
-        const forge::ScenarioSpec spec =
-            forge::generate(cr.seed, camp.axes);
+        const forge::ScenarioSpec spec = specOf(cr.seed);
         const auto poisoned = manifest.poisoned().find(cr.seed);
         if (poisoned != manifest.poisoned().end()) {
             // Shrunk out of process above; never re-run in-process.
@@ -579,6 +670,7 @@ runFleet(const FleetConfig &cfg)
     reg.counter("forge.failures").inc(res.failures);
     reg.counter("forge.divergences").inc(res.divergences);
     reg.counter("forge.forced_runs").inc(res.forcedRuns);
+    reg.counter("forge.signatures").inc(res.distinctSignatures);
     reg.counter("fleet.worker_deaths").inc(tallies.workerDeaths);
     reg.counter("fleet.retries").inc(tallies.retries);
     reg.counter("fleet.quarantined").inc(tallies.quarantined);

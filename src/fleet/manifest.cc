@@ -127,6 +127,23 @@ CampaignManifest::applyRecord(const std::string &rec,
         poison[seed].reproPath = path;
         return true;
     }
+    if (type == "weights") {
+        std::uint32_t batch = 0;
+        if (!(in >> batch)) {
+            *why = "bad weights record";
+            return false;
+        }
+        std::string bank;
+        std::getline(in, bank);
+        if (!bank.empty() && bank.front() == ' ')
+            bank.erase(0, 1);
+        if (bank.empty()) {
+            *why = "weights record without bank";
+            return false;
+        }
+        banks[batch] = std::move(bank);
+        return true;
+    }
     *why = "unknown record type '" + type + "'";
     return false;
 }
@@ -266,6 +283,14 @@ CampaignManifest::recordRepro(std::uint64_t seed,
 }
 
 void
+CampaignManifest::recordWeights(std::uint32_t batch,
+                                const std::string &bank)
+{
+    banks[batch] = bank;
+    appendJournal(strfmt("weights %u %s", batch, bank.c_str()));
+}
+
+void
 CampaignManifest::checkpoint()
 {
     const std::string tmp = manifestPath + ".tmp";
@@ -291,6 +316,10 @@ CampaignManifest::checkpoint()
                         p.reproPath.c_str())) +
                     "\n";
     }
+    for (const auto &[batch, bank] : banks)
+        text += sealRecord(strfmt("weights %u %s", batch,
+                                  bank.c_str())) +
+                "\n";
     const bool ok =
         std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
         std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;

@@ -32,6 +32,10 @@
  *  - `case <json>`              one completed case (wire.hh format)
  *  - `poison <seedhex> <attempts> <cause...>`  quarantined case
  *  - `repro <seedhex> <path>`   shrunk repro for a poison case
+ *  - `weights <batch> <bank>`   guided campaign: the WeightBank
+ *                               entering batch `<batch>`, serialized
+ *                               (weights.hh); rebroadcast at every
+ *                               checkpoint boundary
  */
 
 #ifndef JRPM_FLEET_MANIFEST_HH
@@ -87,6 +91,8 @@ class CampaignManifest
     void recordPoison(const PoisonRecord &p);
     /** Journal the shrunk repro path for a quarantined case. */
     void recordRepro(std::uint64_t seed, const std::string &path);
+    /** Journal the WeightBank entering guided batch @p batch. */
+    void recordWeights(std::uint32_t batch, const std::string &bank);
 
     /** Snapshot everything to the checkpoint (atomic replace +
      *  fsync) and truncate the journal. */
@@ -104,6 +110,13 @@ class CampaignManifest
         return poison;
     }
 
+    /** Guided-campaign weight banks by batch index. */
+    const std::map<std::uint32_t, std::string> &
+    weights() const
+    {
+        return banks;
+    }
+
     const std::string &path() const { return manifestPath; }
 
   private:
@@ -117,6 +130,7 @@ class CampaignManifest
     std::string configLine;
     std::map<std::uint64_t, forge::CaseResult> cases;
     std::map<std::uint64_t, PoisonRecord> poison;
+    std::map<std::uint32_t, std::string> banks;
     std::FILE *journal = nullptr;
     bool resumedFlag = false;
     std::uint32_t torn = 0;

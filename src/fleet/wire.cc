@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "core/report_json.hh"
+#include "forge/signature.hh"
 
 namespace jrpm
 {
@@ -61,7 +62,16 @@ caseResultJson(const forge::CaseResult &cr)
         first = false;
         j += strfmt("[%d,%" PRIu64 "]", loop_id, sq);
     }
-    j += "]}";
+    j += "],";
+    j += strfmt("\"governorAborts\":%" PRIu64
+                ",\"soloEntries\":%" PRIu64
+                ",\"stlEntries\":%" PRIu64
+                ",\"syncLockPlans\":%u,\"multilevelPlans\":%u,"
+                "\"demoted\":%s,\"sigHash\":\"%016llx\"}",
+                cr.governorAborts, cr.soloEntries, cr.stlEntries,
+                cr.syncLockPlans, cr.multilevelPlans,
+                cr.demoted ? "true" : "false",
+                static_cast<unsigned long long>(cr.sigHash));
     return j;
 }
 
@@ -150,6 +160,26 @@ caseResultFromJson(const std::string &text, forge::CaseResult &out,
         cr.loopSquashes.emplace_back(
             static_cast<std::int32_t>(pair.at(0).number()),
             u64Of(pair.at(1)));
+    }
+
+    cr.governorAborts = u64Of(v["governorAborts"]);
+    cr.soloEntries = u64Of(v["soloEntries"]);
+    cr.stlEntries = u64Of(v["stlEntries"]);
+    cr.syncLockPlans =
+        static_cast<std::uint32_t>(v["syncLockPlans"].number());
+    cr.multilevelPlans =
+        static_cast<std::uint32_t>(v["multilevelPlans"].number());
+    cr.demoted = v["demoted"].boolean();
+    if (v["sigHash"].kind == JsonValue::Kind::String) {
+        end = nullptr;
+        cr.sigHash =
+            std::strtoull(v["sigHash"].str.c_str(), &end, 16);
+        if (end == v["sigHash"].str.c_str() || *end)
+            return fail("unparseable sigHash");
+    } else {
+        // Record from a pre-signature worker: the signature is a
+        // pure function of the wire fields, so recompute it.
+        cr.sigHash = forge::signatureOf(cr).hash();
     }
 
     out = std::move(cr);

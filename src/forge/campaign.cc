@@ -5,12 +5,17 @@
 #include <cstdio>
 #include <functional>
 
+#include <map>
+#include <unordered_set>
+
 #include "common/hostprof.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "core/oracle.hh"
 #include "driver/driver.hh"
 #include "forge/corpus.hh"
+#include "forge/signature.hh"
+#include "forge/weights.hh"
 #include "vm/runtime.hh"
 
 namespace jrpm
@@ -76,9 +81,20 @@ runCaseImpl(const ScenarioSpec &spec, const JrpmConfig &base,
     cr.meanBurst = st.burstSpans.mean();
     cr.squashCauses = st.squashCauses;
     cr.violationsByClass = st.violationsByClass;
-    for (const auto &[loop_id, ls] : rep.tls.stl)
+    cr.governorAborts = st.governorAborts;
+    cr.stlEntries = st.stlEntries;
+    for (const auto &[loop_id, ls] : rep.tls.stl) {
         if (const std::uint64_t sq = ls.totalSquashes())
             cr.loopSquashes.emplace_back(loop_id, sq);
+        cr.soloEntries += ls.soloEntries;
+    }
+    for (const SelectedStl &sel : rep.selections) {
+        if (sel.plan.syncLock)
+            ++cr.syncLockPlans;
+        if (sel.plan.multilevel)
+            ++cr.multilevelPlans;
+    }
+    cr.demoted = rep.demoted;
 
     const bool resultDiffers =
         rep.tls.halted != rep.seqMain.halted ||
@@ -111,6 +127,11 @@ runCaseImpl(const ScenarioSpec &spec, const JrpmConfig &base,
             }
         }
     }
+
+    // The behaviour signature digests the fields above (and only
+    // them), so it must be stamped after the forced sweep settles
+    // the outcome bits.
+    cr.sigHash = signatureOf(cr).hash();
 
     if (rep_out)
         *rep_out = std::move(rep);
@@ -351,32 +372,31 @@ processFailure(const CampaignConfig &cfg, const ScenarioSpec &spec,
     return f;
 }
 
-CampaignResult
-runCampaign(const CampaignConfig &cfg)
+namespace
 {
-    const bool faultsActive = !cfg.base.faultPlan.empty();
 
-    std::vector<ScenarioSpec> specs;
-    specs.reserve(cfg.cases);
-    for (std::uint32_t i = 0; i < cfg.cases; ++i)
-        specs.push_back(generate(cfg.seed + i, cfg.axes));
-
-    CampaignResult res;
-    res.cases = cfg.cases;
-    res.results.resize(cfg.cases);
-
-    // Fan the cases out over the batch driver.  Each job's custom
-    // runner fills its own slot; results (and therefore the whole
-    // campaign verdict) are independent of the worker count.
-    std::vector<DriverJob> jobs(cfg.cases);
-    for (std::uint32_t i = 0; i < cfg.cases; ++i) {
-        jobs[i].workload.name =
-            strfmt("forge-seed-%016llx",
-                   static_cast<unsigned long long>(specs[i].seed));
-        jobs[i].custom = [&, i]() {
+/**
+ * Fan `count` scenarios (slots [first, first+count)) out over the
+ * batch driver, filling the matching result slots.  Each job's
+ * custom runner fills its own slot; results (and therefore the
+ * whole campaign verdict) are independent of the worker count.
+ * Shared by the flat campaign and the guided batch loop.
+ */
+void
+runBatch(const CampaignConfig &cfg,
+         const std::vector<ScenarioSpec> &specs, std::size_t first,
+         std::size_t count, std::vector<CaseResult> &out)
+{
+    std::vector<DriverJob> jobs(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t slot = first + i;
+        jobs[i].workload.name = strfmt(
+            "forge-seed-%016llx",
+            static_cast<unsigned long long>(specs[slot].seed));
+        jobs[i].custom = [&cfg, &specs, &out, slot]() {
             JrpmReport rep;
-            res.results[i] = runCaseImpl(specs[i], cfg.base,
-                                         cfg.forcedSweep, &rep);
+            out[slot] = runCaseImpl(specs[slot], cfg.base,
+                                    cfg.forcedSweep, &rep);
             return rep;
         };
     }
@@ -386,24 +406,82 @@ runCampaign(const CampaignConfig &cfg)
     const std::vector<DriverResult> dres =
         driver.run(std::move(jobs));
 
-    for (std::uint32_t i = 0; i < cfg.cases; ++i) {
-        CaseResult &cr = res.results[i];
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t slot = first + i;
+        CaseResult &cr = out[slot];
         cr.wallMs = dres[i].wallMs;
         if (!dres[i].ok) {
             // The pipeline (or sweep) threw: record it as a failed
             // case even though the slot was never filled.
-            cr.seed = specs[i].seed;
-            cr.axes = specs[i].axes();
+            cr.seed = specs[slot].seed;
+            cr.axes = specs[slot].axes();
+            cr.stmts =
+                static_cast<std::uint32_t>(specs[slot].body.size());
             cr.ok = false;
             cr.error = dres[i].error;
+            cr.sigHash = signatureOf(cr).hash();
         }
+    }
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg)
+{
+    const bool faultsActive = !cfg.base.faultPlan.empty();
+
+    CampaignResult res;
+    res.cases = cfg.cases;
+    res.results.resize(cfg.cases);
+    res.specs.reserve(cfg.cases);
+
+    if (!cfg.guided) {
+        for (std::uint32_t i = 0; i < cfg.cases; ++i)
+            res.specs.push_back(generate(cfg.seed + i, cfg.axes));
+        runBatch(cfg, res.specs, 0, cfg.cases, res.results);
+    } else {
+        // Coverage-guided: batch-synchronous loop.  Every scenario
+        // in a batch derives under the bank state entering the
+        // batch; the bank updates exactly once per batch, in seed
+        // order, from signature novelty.  The barrier makes the
+        // weight trajectory — and hence every scenario — identical
+        // for any `jobs` value.
+        WeightBank bank;
+        std::unordered_set<std::uint64_t> seen;
+        const std::uint32_t batch = std::max(cfg.guidedBatch, 1u);
+        for (std::uint32_t done = 0; done < cfg.cases;) {
+            const std::uint32_t n =
+                std::min(batch, cfg.cases - done);
+            for (std::uint32_t i = 0; i < n; ++i)
+                res.specs.push_back(generateWeighted(
+                    cfg.seed + done + i, cfg.axes, bank));
+            runBatch(cfg, res.specs, done, n, res.results);
+            std::vector<std::pair<std::uint32_t, std::uint64_t>> obs;
+            obs.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i)
+                obs.emplace_back(kindsOf(res.specs[done + i]),
+                                 res.results[done + i].sigHash);
+            applyBatch(bank, seen, obs);
+            done += n;
+        }
+        res.weightBank = bank.serialize();
+    }
+
+    std::unordered_set<std::uint64_t> sigs;
+    for (const CaseResult &cr : res.results)
+        sigs.insert(cr.sigHash);
+    res.distinctSignatures = static_cast<std::uint32_t>(sigs.size());
+
+    for (std::uint32_t i = 0; i < cfg.cases; ++i) {
+        CaseResult &cr = res.results[i];
         tallyCase(res, cr, faultsActive);
 
         if (!cr.failing(faultsActive))
             continue;
         ++res.failures;
         res.failing.push_back(
-            processFailure(cfg, specs[i], cr, faultsActive));
+            processFailure(cfg, res.specs[i], cr, faultsActive));
     }
 
     auto &reg = MetricsRegistry::global();
@@ -411,7 +489,65 @@ runCampaign(const CampaignConfig &cfg)
     reg.counter("forge.failures").inc(res.failures);
     reg.counter("forge.divergences").inc(res.divergences);
     reg.counter("forge.forced_runs").inc(res.forcedRuns);
+    reg.counter("forge.signatures").inc(res.distinctSignatures);
     return res;
+}
+
+DistillResult
+distillCampaign(const CampaignConfig &cfg, const CampaignResult &res,
+                const DistillConfig &dcfg)
+{
+    const bool faultsActive = !cfg.base.faultPlan.empty();
+    DistillResult out;
+
+    // Greedy set cover over the observed signatures.  Each case
+    // covers exactly its own signature, so the minimal cover is one
+    // representative per distinct signature; pick the cheapest —
+    // fewest statements, then lowest seed.  Only clean cases are
+    // eligible: failing ones already land in the failure corpus,
+    // and a regression corpus must replay green.
+    std::map<std::uint64_t, std::size_t> rep;
+    for (std::size_t i = 0; i < res.results.size(); ++i) {
+        const CaseResult &cr = res.results[i];
+        if (!cr.ok || cr.failing(faultsActive))
+            continue;
+        auto [it, fresh] = rep.emplace(cr.sigHash, i);
+        if (fresh)
+            continue;
+        const ScenarioSpec &cur = res.specs[it->second];
+        const ScenarioSpec &cand = res.specs[i];
+        if (cand.body.size() < cur.body.size() ||
+            (cand.body.size() == cur.body.size() &&
+             cand.seed < cur.seed))
+            it->second = i;
+    }
+    out.observedSignatures = static_cast<std::uint32_t>(rep.size());
+
+    // ddmin each representative as far as it keeps producing its
+    // signature (iterating the std::map keeps signature order — and
+    // therefore the whole distilled corpus — deterministic).
+    for (const auto &[sig, idx] : rep) {
+        ShrinkOptions so;
+        so.maxProbes = dcfg.shrinkProbes;
+        const ShrinkResult sr = shrinkScenario(
+            res.specs[idx],
+            [&](const ScenarioSpec &cand) {
+                return runCase(cand, cfg.base, cfg.forcedSweep)
+                           .sigHash == sig;
+            },
+            so);
+        out.shrinkProbes += sr.probes;
+        out.corpus.push_back(sr.spec);
+        if (!dcfg.outDir.empty())
+            out.paths.push_back(writeCorpusEntry(
+                dcfg.outDir, makeCorpusEntry(sr.spec)));
+    }
+    out.entries = static_cast<std::uint32_t>(out.corpus.size());
+
+    auto &reg = MetricsRegistry::global();
+    reg.counter("forge.distilled_entries").inc(out.entries);
+    reg.counter("forge.distill_probes").inc(out.shrinkProbes);
+    return out;
 }
 
 namespace
@@ -455,10 +591,11 @@ campaignAnalyticsJson(const CampaignConfig &cfg,
                 cfg.axes);
     j += strfmt("\"cases\":%u,\"failures\":%u,\"pipelineErrors\":%u,"
                 "\"divergences\":%u,\"oracleDetected\":%u,"
-                "\"watchdogs\":%u,\"forcedRuns\":%" PRIu64 ",",
+                "\"watchdogs\":%u,\"forcedRuns\":%" PRIu64
+                ",\"distinctSignatures\":%u,",
                 res.cases, res.failures, res.pipelineErrors,
                 res.divergences, res.oracleDetected, res.watchdogs,
-                res.forcedRuns);
+                res.forcedRuns, res.distinctSignatures);
 
     // Per-metric percentiles over every completed case.
     struct Metric
@@ -683,7 +820,8 @@ CampaignResult::summary() const
         s += strfmt(" %s=%u",
                     axisName(static_cast<StressAxis>(1u << a)),
                     axisScenarios[a]);
-    s += "\n";
+    s += strfmt("\nsignatures: %u distinct%s\n", distinctSignatures,
+                weightBank.empty() ? "" : " (guided)");
     if (fleet.active)
         s += strfmt("fleet: %u worker deaths (%u crash, %u timeout), "
                     "%u retries, %u quarantined, %u reshards%s\n",

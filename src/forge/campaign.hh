@@ -52,6 +52,12 @@ struct CampaignConfig
     std::uint32_t shrinkProbes = 300;
     /** Write shrunk repros here ("" = don't persist). */
     std::string corpusOut;
+    /** Coverage-guided generation: derive scenarios with
+     *  generateWeighted() and update the WeightBank from behaviour-
+     *  signature novelty at batch boundaries (see weights.hh). */
+    bool guided = false;
+    /** Cases per guided batch (the weight-update granularity). */
+    std::uint32_t guidedBatch = 32;
     /** Base pipeline config: oracle mode, fault plan, memory. */
     JrpmConfig base;
 };
@@ -91,7 +97,16 @@ struct CaseResult
     std::array<std::uint64_t, kNumAddrClasses> violationsByClass{};
     /** (loopId, squash events) for every squashing loop. */
     std::vector<std::pair<std::int32_t, std::uint64_t>> loopSquashes;
+    std::uint64_t governorAborts = 0;  ///< governor blacklist events
+    std::uint64_t soloEntries = 0;     ///< solo-mode STL entries
+    std::uint64_t stlEntries = 0;      ///< speculative region entries
+    std::uint32_t syncLockPlans = 0;   ///< selections with syncLock
+    std::uint32_t multilevelPlans = 0; ///< selections with multilevel
+    bool demoted = false;              ///< crystal entry demoted
     double wallMs = 0;                 ///< host wall-clock, whole case
+    /** BehaviourSignature::hash() of this case (signature.hh); the
+     *  coverage coordinate for guided campaigns and distillation. */
+    std::uint64_t sigHash = 0;
 
     /** Does this case fail the campaign?  With faults composed in,
      *  detected divergences are expected and only silent ones fail;
@@ -136,7 +151,15 @@ struct CampaignResult
     /** Scenarios touching each axis, kAxisTable order. */
     std::array<std::uint32_t, kNumAxes> axisScenarios{};
     std::vector<CaseResult> results;   ///< input (seed) order
+    /** The scenario each result ran (same order as `results`).
+     *  Under guided generation these are NOT generate(seed)'s output
+     *  — distillation and replay must use this list. */
+    std::vector<ScenarioSpec> specs;
     std::vector<CampaignFailure> failing;
+    /** Distinct behaviour-signature hashes over all cases. */
+    std::uint32_t distinctSignatures = 0;
+    /** Final serialized WeightBank ("" unless guided). */
+    std::string weightBank;
     FleetTallies fleet;
 
     bool clean() const { return failures == 0; }
@@ -233,6 +256,38 @@ std::string campaignAnalyticsJson(const CampaignConfig &cfg,
 bool writeCampaignAnalytics(const std::string &path,
                             const CampaignConfig &cfg,
                             const CampaignResult &res);
+
+// ---- corpus distillation ----------------------------------------------
+
+struct DistillConfig
+{
+    /** Write the distilled corpus entries here. */
+    std::string outDir;
+    /** ddmin probe budget per representative. */
+    std::uint32_t shrinkProbes = 80;
+};
+
+struct DistillResult
+{
+    std::uint32_t observedSignatures = 0; ///< distinct over the run
+    std::uint32_t entries = 0;            ///< distilled corpus size
+    std::uint32_t shrinkProbes = 0;       ///< total ddmin probes
+    std::vector<ScenarioSpec> corpus;     ///< one per signature
+    std::vector<std::string> paths;       ///< written files
+};
+
+/**
+ * Distill a completed campaign to a minimal regression corpus: a
+ * greedy set-cover over the observed behaviour signatures (each case
+ * covers exactly its own signature, so this picks one representative
+ * per signature — fewest statements, then lowest seed), with each
+ * representative ddmin-shrunk as far as it keeps producing its
+ * signature.  Deterministic given the campaign result; covers 100%
+ * of observed signatures by construction.
+ */
+DistillResult distillCampaign(const CampaignConfig &cfg,
+                              const CampaignResult &res,
+                              const DistillConfig &dcfg);
 
 } // namespace forge
 } // namespace jrpm

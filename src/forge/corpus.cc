@@ -128,12 +128,19 @@ serializeCorpusEntry(const CorpusEntry &entry)
 
 bool
 deserializeCorpusEntry(const std::string &text, CorpusEntry &out,
-                       std::string *err)
+                       std::string *err, CorpusError *kind)
 {
-    auto failWith = [&](const std::string &why) {
+    if (kind)
+        *kind = CorpusError::None;
+    auto failKind = [&](CorpusError k, const std::string &why) {
         if (err)
             *err = why;
+        if (kind)
+            *kind = k;
         return false;
+    };
+    auto failWith = [&](const std::string &why) {
+        return failKind(CorpusError::Format, why);
     };
 
     // Verify the trailing checksum first: it covers every byte up
@@ -156,17 +163,30 @@ deserializeCorpusEntry(const std::string &text, CorpusEntry &out,
     r.expect(kMagic);
     const std::string ver = r.word();
     if (!r.fail && ver != strfmt("v%u", kForgeVersion))
-        return failWith(strfmt(
-            "forge version mismatch (file %s, generator v%u)",
-            ver.c_str(), kForgeVersion));
+        return failKind(
+            CorpusError::Version,
+            strfmt("forge version mismatch (file %s, generator v%u)",
+                   ver.c_str(), kForgeVersion));
 
     CorpusEntry e;
     e.spec.version = kForgeVersion;
     r.expect("seed");
     e.spec.seed = r.u64();
     r.expect("axes");
-    r.u64();  // informational
+    const std::uint64_t axes = r.u64();
     r.word(); // human-readable axis list
+    // A same-version entry whose axes mask has bits outside kAllAxes
+    // was written by a grammar with axes this build doesn't have;
+    // dropping the bits would silently replay a different scenario.
+    if (!r.fail && (axes & ~static_cast<std::uint64_t>(kAllAxes)))
+        return failKind(
+            CorpusError::FutureAxes,
+            strfmt("axes mask 0x%llx has unknown axis bits 0x%llx "
+                   "(this build knows 0x%x); refusing to replay",
+                   static_cast<unsigned long long>(axes),
+                   static_cast<unsigned long long>(
+                       axes & ~static_cast<std::uint64_t>(kAllAxes)),
+                   kAllAxes));
     r.expect("n");
     e.spec.n = r.i32();
     r.expect("init");
@@ -240,17 +260,19 @@ writeCorpusEntry(const std::string &dir, const CorpusEntry &entry)
 
 bool
 readCorpusEntry(const std::string &path, CorpusEntry &out,
-                std::string *err)
+                std::string *err, CorpusError *kind)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         if (err)
             *err = "cannot open '" + path + "'";
+        if (kind)
+            *kind = CorpusError::Format;
         return false;
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    return deserializeCorpusEntry(ss.str(), out, err);
+    return deserializeCorpusEntry(ss.str(), out, err, kind);
 }
 
 std::vector<std::string>

@@ -43,13 +43,28 @@ struct CorpusEntry
 /** Versioned, checksummed text serialization. */
 std::string serializeCorpusEntry(const CorpusEntry &entry);
 
+/** Machine-readable parse-failure class, for callers that branch on
+ *  the cause. */
+enum class CorpusError
+{
+    None = 0,
+    Format,     ///< magic, truncation, checksum or field errors
+    Version,    ///< forge generator version mismatch
+    FutureAxes, ///< axes mask has bits this build doesn't know
+};
+
 /**
  * Parse a serialized entry.  Rejects wrong magic, wrong forge
- * version, truncation and checksum mismatch.
+ * version, truncation, checksum mismatch — and an axes mask
+ * carrying bits outside kAllAxes: a same-version file with future
+ * axis bits was written by a newer grammar, and silently dropping
+ * the bits would replay a different scenario than the one saved.
  * @param err optional diagnostic on failure
+ * @param kind optional machine-readable failure class
  */
 bool deserializeCorpusEntry(const std::string &text, CorpusEntry &out,
-                            std::string *err = nullptr);
+                            std::string *err = nullptr,
+                            CorpusError *kind = nullptr);
 
 /** Write an entry into @p dir (created if needed) under its
  *  canonical name.  @return the path, or "" on I/O error. */
@@ -59,7 +74,8 @@ std::string writeCorpusEntry(const std::string &dir,
 /** Load one entry from a file.  @return false with @p err set on
  *  read or parse failure. */
 bool readCorpusEntry(const std::string &path, CorpusEntry &out,
-                     std::string *err = nullptr);
+                     std::string *err = nullptr,
+                     CorpusError *kind = nullptr);
 
 /** Sorted paths of the "*.scenario" files in a directory. */
 std::vector<std::string> listCorpus(const std::string &dir);

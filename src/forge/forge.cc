@@ -5,6 +5,7 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "forge/weights.hh"
 
 namespace jrpm
 {
@@ -193,72 +194,131 @@ ScenarioSpec::fingerprint() const
 
 // ---- generation -------------------------------------------------------
 
-ScenarioSpec
-generate(std::uint64_t seed, std::uint32_t axes_mask)
+namespace
 {
-    Rng rng(seed);
-    ScenarioSpec spec;
-    spec.seed = seed;
-    spec.n = rng.range(17, 120);
-    for (std::int32_t &v : spec.init)
-        v = rng.range(0, 100);
 
-    // Productions admitted by the mask; Baseline is always in so a
-    // body is never statement-free.
+/** The productions admitted by an axes mask; Baseline is always in
+ *  so a body is never statement-free. */
+std::vector<StmtKind>
+allowedKinds(std::uint32_t axes_mask)
+{
     std::vector<StmtKind> allowed;
     const std::uint32_t mask =
         axes_mask | static_cast<std::uint32_t>(StressAxis::Baseline);
     for (const StmtRow &r : kStmtTable)
         if (mask & static_cast<std::uint32_t>(r.axis))
             allowed.push_back(r.kind);
+    return allowed;
+}
 
+/** The shared trip-count/init prologue of the generators: consumes
+ *  exactly 1 + init.size() draws. */
+ScenarioSpec
+drawHeader(Rng &rng, std::uint64_t seed)
+{
+    ScenarioSpec spec;
+    spec.seed = seed;
+    spec.n = rng.range(17, 120);
+    for (std::int32_t &v : spec.init)
+        v = rng.range(0, 100);
+    return spec;
+}
+
+/** Parameterize a statement of the chosen kind.  The four draws are
+ *  unconditional and fixed-order so the stream position never
+ *  depends on the kind drawn before — shared verbatim by generate()
+ *  and generateWeighted(), keeping the stream contract single-
+ *  sourced. */
+ForgeStmt
+drawStmt(Rng &rng, StmtKind kind)
+{
+    ForgeStmt s;
+    s.kind = kind;
+    const std::int32_t d0 = rng.range(0, 1023);
+    const std::int32_t d1 = rng.range(0, 1023);
+    const std::int32_t d2 = rng.range(0, 1023);
+    const std::int32_t d3 = rng.range(0, 1023);
+    switch (s.kind) {
+      case StmtKind::ArrayStore:
+        s.p = {1 + d0 % 9, d1 & 3, 0, d3 & 1};
+        break;
+      case StmtKind::CarriedUpdate:
+        s.p = {3 + d0 % 15, d1 & 3, 1 + d2 % 7, 0};
+        break;
+      case StmtKind::CondCarried:
+        s.p = {3 + d0 % 28, d1 & 3, 1 + d2, 0};
+        break;
+      case StmtKind::CrossDep:
+        s.p = {d0 % 7, 0, 0, 0};
+        break;
+      case StmtKind::Reduction:
+        s.p = {0, d1 & 1, 0, 0};
+        break;
+      case StmtKind::InnerLoop:
+        s.p = {2 + d0 % 5, 0, 0, 0};
+        break;
+      case StmtKind::Call:
+        s.p = {1 + d0 % 9, d1 & 3, 1 + d2 % 255, d3 & 1};
+        break;
+      case StmtKind::ResetInductor:
+        s.p = {2 + d0 % 15, 1 + d1 % 5, d2 & 3, 0};
+        break;
+      case StmtKind::SyncBlock:
+        s.p = {d0 & 7, 1 + d1, 0, 0};
+        break;
+      case StmtKind::Throw:
+        s.p = {2 + d0 % 12, 1 + d1 % 100, d2 & 3, 0};
+        break;
+      case StmtKind::Alloc:
+        s.p = {d0 % 51, d1 & 3, d2 & 7, 0};
+        break;
+    }
+    return s;
+}
+
+} // namespace
+
+ScenarioSpec
+generate(std::uint64_t seed, std::uint32_t axes_mask)
+{
+    Rng rng(seed);
+    ScenarioSpec spec = drawHeader(rng, seed);
+    const std::vector<StmtKind> allowed = allowedKinds(axes_mask);
     const int count = rng.range(3, 10);
     for (int k = 0; k < count; ++k) {
-        ForgeStmt s;
-        s.kind = allowed[rng.below(
+        const StmtKind kind = allowed[rng.below(
             static_cast<std::uint32_t>(allowed.size()))];
-        // Parameter draws are unconditional and fixed-order so the
-        // stream position never depends on the kind drawn before.
-        const std::int32_t d0 = rng.range(0, 1023);
-        const std::int32_t d1 = rng.range(0, 1023);
-        const std::int32_t d2 = rng.range(0, 1023);
-        const std::int32_t d3 = rng.range(0, 1023);
-        switch (s.kind) {
-          case StmtKind::ArrayStore:
-            s.p = {1 + d0 % 9, d1 & 3, 0, d3 & 1};
-            break;
-          case StmtKind::CarriedUpdate:
-            s.p = {3 + d0 % 15, d1 & 3, 1 + d2 % 7, 0};
-            break;
-          case StmtKind::CondCarried:
-            s.p = {3 + d0 % 28, d1 & 3, 1 + d2, 0};
-            break;
-          case StmtKind::CrossDep:
-            s.p = {d0 % 7, 0, 0, 0};
-            break;
-          case StmtKind::Reduction:
-            s.p = {0, d1 & 1, 0, 0};
-            break;
-          case StmtKind::InnerLoop:
-            s.p = {2 + d0 % 5, 0, 0, 0};
-            break;
-          case StmtKind::Call:
-            s.p = {1 + d0 % 9, d1 & 3, 1 + d2 % 255, d3 & 1};
-            break;
-          case StmtKind::ResetInductor:
-            s.p = {2 + d0 % 15, 1 + d1 % 5, d2 & 3, 0};
-            break;
-          case StmtKind::SyncBlock:
-            s.p = {d0 & 7, 1 + d1, 0, 0};
-            break;
-          case StmtKind::Throw:
-            s.p = {2 + d0 % 12, 1 + d1 % 100, d2 & 3, 0};
-            break;
-          case StmtKind::Alloc:
-            s.p = {d0 % 51, d1 & 3, d2 & 7, 0};
-            break;
+        spec.body.push_back(drawStmt(rng, kind));
+    }
+    return spec;
+}
+
+ScenarioSpec
+generateWeighted(std::uint64_t seed, std::uint32_t axes_mask,
+                 const WeightBank &bank)
+{
+    Rng rng(seed);
+    ScenarioSpec spec = drawHeader(rng, seed);
+    const std::vector<StmtKind> allowed = allowedKinds(axes_mask);
+    std::uint32_t total = 0;
+    for (StmtKind k : allowed)
+        total += bank.weight(k);
+    const int count = rng.range(3, 10);
+    for (int k = 0; k < count; ++k) {
+        // One draw selects the kind — same stream shape as
+        // generate(), different mapping: a cumulative walk over the
+        // admitted productions' weights.
+        std::uint32_t r = rng.below(total);
+        StmtKind kind = allowed.back();
+        for (StmtKind cand : allowed) {
+            const std::uint32_t w = bank.weight(cand);
+            if (r < w) {
+                kind = cand;
+                break;
+            }
+            r -= w;
         }
-        spec.body.push_back(s);
+        spec.body.push_back(drawStmt(rng, kind));
     }
     return spec;
 }

@@ -1,0 +1,97 @@
+#include "weights.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace jrpm
+{
+namespace forge
+{
+
+void
+WeightBank::update(std::uint32_t novel_kinds,
+                   std::uint32_t seen_kinds)
+{
+    for (std::uint32_t k = 0; k < kNumStmtKinds; ++k) {
+        const std::uint32_t bit = 1u << k;
+        if (novel_kinds & bit)
+            weights[k] = std::min(kMax, weights[k] + kBoost);
+        else if (seen_kinds & bit)
+            weights[k] = std::max(kMin, weights[k] - weights[k] / 8);
+    }
+}
+
+std::string
+WeightBank::serialize() const
+{
+    std::string s = "wb1";
+    for (std::uint32_t w : weights)
+        s += strfmt(" %x", w);
+    return s;
+}
+
+bool
+WeightBank::deserialize(const std::string &text, WeightBank &out)
+{
+    std::istringstream in(text);
+    std::string magic;
+    if (!(in >> magic) || magic != "wb1")
+        return false;
+    WeightBank b;
+    for (std::uint32_t k = 0; k < kNumStmtKinds; ++k) {
+        std::string tok;
+        if (!(in >> tok))
+            return false;
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(tok.c_str(), &end, 16);
+        if (end == tok.c_str() || *end || v == 0 || v > kMax)
+            return false;
+        b.weights[k] = static_cast<std::uint32_t>(v);
+    }
+    std::string extra;
+    if (in >> extra)
+        return false;
+    out = b;
+    return true;
+}
+
+std::uint32_t
+kindsOf(const ScenarioSpec &spec)
+{
+    std::uint32_t mask = 0;
+    for (const ForgeStmt &s : spec.body)
+        mask |= 1u << static_cast<std::uint32_t>(s.kind);
+    return mask;
+}
+
+void
+applyBatch(
+    WeightBank &bank, std::unordered_set<std::uint64_t> &seen,
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &obs)
+{
+    std::uint32_t novel = 0, appeared = 0;
+    for (const auto &[kinds, sig] : obs) {
+        appeared |= kinds;
+        if (seen.insert(sig).second)
+            novel |= kinds;
+    }
+    bank.update(novel, appeared);
+}
+
+std::uint64_t
+WeightBank::hash() const
+{
+    Fnv1a h;
+    for (std::uint32_t w : weights)
+        h.u32(w);
+    return h.value();
+}
+
+} // namespace forge
+} // namespace jrpm

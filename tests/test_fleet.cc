@@ -28,6 +28,8 @@
 #include "fleet/manifest.hh"
 #include "fleet/wire.hh"
 #include "forge/campaign.hh"
+#include "forge/signature.hh"
+#include "forge/weights.hh"
 
 namespace jrpm
 {
@@ -95,7 +97,14 @@ sampleCase(std::uint64_t seed)
     for (std::size_t i = 0; i < cr.violationsByClass.size(); ++i)
         cr.violationsByClass[i] = 200 + i;
     cr.loopSquashes = {{0, 7}, {3, 1}};
+    cr.governorAborts = 6;
+    cr.soloEntries = 2;
+    cr.stlEntries = 8;
+    cr.syncLockPlans = 1;
+    cr.multilevelPlans = 2;
+    cr.demoted = true;
     cr.wallMs = 333.25;
+    cr.sigHash = 0xabcdef0123456789ull;
     return cr;
 }
 
@@ -131,7 +140,14 @@ expectSameCase(const forge::CaseResult &a, const forge::CaseResult &b)
     EXPECT_EQ(a.squashCauses, b.squashCauses);
     EXPECT_EQ(a.violationsByClass, b.violationsByClass);
     EXPECT_EQ(a.loopSquashes, b.loopSquashes);
+    EXPECT_EQ(a.governorAborts, b.governorAborts);
+    EXPECT_EQ(a.soloEntries, b.soloEntries);
+    EXPECT_EQ(a.stlEntries, b.stlEntries);
+    EXPECT_EQ(a.syncLockPlans, b.syncLockPlans);
+    EXPECT_EQ(a.multilevelPlans, b.multilevelPlans);
+    EXPECT_EQ(a.demoted, b.demoted);
     EXPECT_DOUBLE_EQ(a.wallMs, b.wallMs);
+    EXPECT_EQ(a.sigHash, b.sigHash);
 }
 
 TEST(FleetWire, CaseResultRoundTripsEveryField)
@@ -145,6 +161,28 @@ TEST(FleetWire, CaseResultRoundTripsEveryField)
     std::string err;
     ASSERT_TRUE(fleet::caseResultFromJson(json, out, &err)) << err;
     expectSameCase(in, out);
+}
+
+TEST(FleetWire, MissingSigHashIsRecomputedNotRejected)
+{
+    // Manifests journaled before the signature field existed carry no
+    // sigHash — the parser must self-heal by recomputing it from the
+    // wire fields (signatureOf is a pure function of them) rather
+    // than reject the record or leave the hash zero.
+    forge::CaseResult in = sampleCase(0x51);
+    in.sigHash = 0;
+    std::string json = fleet::caseResultJson(in);
+    const std::size_t at = json.find(",\"sigHash\"");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t end = json.find('}', at);
+    ASSERT_NE(end, std::string::npos);
+    json.erase(at, end - at);
+
+    forge::CaseResult out;
+    std::string err;
+    ASSERT_TRUE(fleet::caseResultFromJson(json, out, &err)) << err;
+    EXPECT_EQ(out.sigHash, forge::signatureOf(out).hash());
+    EXPECT_NE(out.sigHash, 0u);
 }
 
 TEST(FleetWire, RejectsGarbageAndStructuralMismatch)
@@ -227,6 +265,51 @@ TEST(FleetManifest, PersistsAndResumesAcrossReopen)
         EXPECT_EQ(m.completed().size(), 2u);
         EXPECT_EQ(m.poisoned().size(), 1u);
     }
+}
+
+TEST(FleetManifest, WeightRecordsSurviveJournalAndCheckpoint)
+{
+    // The guided fleet journals the weight bank each batch entered
+    // with; the serialized bank must round-trip byte-identically
+    // through both the journal and a checkpoint snapshot (resume
+    // recomputes the bank and fatals on any divergence).
+    const std::string dir = makeTempDir();
+    const std::string path = dir + "/manifest";
+    const std::string config = "seed 5eed cases 64 guided 1";
+
+    forge::WeightBank bank;
+    bank.update(/*novel=*/0x13, /*appeared=*/0x1f);
+    const std::string b0 = forge::WeightBank().serialize();
+    const std::string b1 = bank.serialize();
+    {
+        fleet::CampaignManifest m(path);
+        std::string err;
+        ASSERT_TRUE(m.load(config, &err)) << err;
+        m.recordWeights(0, b0);
+        m.recordWeights(1, b1);
+    }
+    {
+        fleet::CampaignManifest m(path);
+        std::string err;
+        ASSERT_TRUE(m.load(config, &err)) << err;
+        EXPECT_EQ(m.tornRecords(), 0u);
+        ASSERT_EQ(m.weights().size(), 2u);
+        EXPECT_EQ(m.weights().at(0), b0);
+        EXPECT_EQ(m.weights().at(1), b1);
+        forge::WeightBank back;
+        ASSERT_TRUE(
+            forge::WeightBank::deserialize(m.weights().at(1), back));
+        EXPECT_EQ(back, bank);
+        m.checkpoint();
+    }
+    // After the checkpoint the records live in the snapshot.
+    fleet::CampaignManifest m(path);
+    std::string err;
+    ASSERT_TRUE(m.load(config, &err)) << err;
+    EXPECT_EQ(m.tornRecords(), 0u);
+    ASSERT_EQ(m.weights().size(), 2u);
+    EXPECT_EQ(m.weights().at(0), b0);
+    EXPECT_EQ(m.weights().at(1), b1);
 }
 
 TEST(FleetManifest, TornJournalLinesAreSkippedNotFatal)
@@ -319,6 +402,18 @@ TEST(FleetConfigIdentity, CoversTheCaseShapingKnobs)
     b = a;
     b.base.faultPlan = FaultPlan::parse("corrupt@0");
     EXPECT_NE(fleet::fleetConfigIdentity(b), base);
+    // Guided generation derives different scenarios from the same
+    // seeds, so it shapes cases and must split the identity.
+    b = a;
+    b.guided = true;
+    EXPECT_NE(fleet::fleetConfigIdentity(b), base);
+    b.guidedBatch = 16;
+    EXPECT_NE(fleet::fleetConfigIdentity(b),
+              [&] {
+                  forge::CampaignConfig c = a;
+                  c.guided = true;
+                  return fleet::fleetConfigIdentity(c);
+              }());
     // Supervisor-only knobs must NOT change identity, or resuming
     // with a different worker count would refuse its own manifest.
     b = a;
@@ -421,6 +516,59 @@ TEST(FleetEndToEnd, AbortingCaseIsQuarantinedWithShrunkRepro)
     ASSERT_FALSE(p.reproPath.empty()) << "no shrunk repro recorded";
     EXPECT_FALSE(slurp(p.reproPath).empty())
         << "repro file missing: " << p.reproPath;
+}
+
+/** Guided determinism across the process boundary: a guided fleet
+ *  campaign must journal the same per-case behaviour signatures as
+ *  the in-process guided campaign with the same config, and the
+ *  weight bank entering each batch must be byte-identical to the
+ *  in-process bank at the same barrier. */
+TEST(FleetEndToEnd, GuidedFleetMatchesInProcessCampaign)
+{
+    const std::string dir = makeTempDir();
+    const std::string manifest = dir + "/m";
+    const int rc = runCmd(std::string(JRPM_FLEET_EXE) +
+                          " --fleet --manifest=" + manifest +
+                          " --guided --guided-batch=8"
+                          " --cases=16 --jobs=3 --seed=0x5eed"
+                          " --axes=baseline,nested,sync"
+                          " --no-forced-sweep"
+                          " >" + dir + "/log 2>&1");
+    EXPECT_EQ(rc, 0) << slurp(dir + "/log");
+
+    forge::CampaignConfig cc;
+    cc.cases = 16;
+    cc.seed = 0x5eed;
+    cc.axes = forge::parseAxes("baseline,nested,sync");
+    cc.guided = true;
+    cc.guidedBatch = 8;
+    cc.forcedSweep = false;
+    cc.jobs = 2;
+    // Mirror the bench's forgeConfig() so per-case telemetry (and
+    // with it the signatures) matches the workers'.
+    cc.base.oracle.mode = OracleMode::Strict;
+    cc.base.sys.memBytes = 8u << 20;
+    cc.base.vm.heapBytes = 4u << 20;
+    cc.base.sys.watchdog.noProgressCycles = 500'000;
+    const forge::CampaignResult ref = forge::runCampaign(cc);
+
+    fleet::CampaignManifest m(manifest);
+    std::string err;
+    ASSERT_TRUE(m.load(fleet::fleetConfigIdentity(cc), &err)) << err;
+    ASSERT_EQ(m.completed().size(), 16u);
+    for (const forge::CaseResult &cr : ref.results)
+        EXPECT_EQ(m.completed().at(cr.seed).sigHash, cr.sigHash)
+            << "seed " << cr.seed;
+
+    // The bank entering batch 1 is the bank after batch 0 — which is
+    // exactly the final bank of an in-process campaign that stops at
+    // the batch-0 barrier.
+    ASSERT_EQ(m.weights().size(), 2u);
+    EXPECT_EQ(m.weights().at(0), forge::WeightBank().serialize());
+    forge::CampaignConfig first = cc;
+    first.cases = 8;
+    EXPECT_EQ(m.weights().at(1),
+              forge::runCampaign(first).weightBank);
 }
 #endif // JRPM_FLEET_EXE
 

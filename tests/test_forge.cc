@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <unordered_set>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
@@ -21,6 +22,7 @@
 #include "forge/corpus.hh"
 #include "forge/forge.hh"
 #include "forge/shrink.hh"
+#include "forge/weights.hh"
 
 namespace jrpm
 {
@@ -293,6 +295,47 @@ TEST(ForgeCorpus, RejectsVersionMismatch)
         << err;
 }
 
+TEST(ForgeCorpus, RejectsUnknownFutureAxisBits)
+{
+    // A corpus entry written by a FUTURE build can carry axis bits
+    // this build does not define.  Silently masking them off would
+    // replay a *different* scenario class than the one recorded —
+    // the loader must reject with the typed FutureAxes error.
+    std::string text = serializeCorpusEntry(forge::makeCorpusEntry(
+        forge::generate(6), /*with_exit=*/false));
+    const std::size_t at = text.find("\naxes 0x");
+    ASSERT_NE(at, std::string::npos);
+    // Splice a high bit no current axis occupies into the mask and
+    // re-seal the checksum, so the rejection tested is the axes
+    // check, not the checksum.
+    text.insert(at + 8, "200000");
+    const std::size_t chk = text.rfind("check ");
+    ASSERT_NE(chk, std::string::npos);
+    text = text.substr(0, chk) +
+           strfmt("check 0x%016llx\n",
+                  static_cast<unsigned long long>(
+                      fnv1a(text.data(), chk)));
+
+    CorpusEntry out;
+    std::string err;
+    forge::CorpusError kind = forge::CorpusError::None;
+    EXPECT_FALSE(deserializeCorpusEntry(text, out, &err, &kind));
+    EXPECT_EQ(kind, forge::CorpusError::FutureAxes)
+        << "error was: " << err;
+    EXPECT_NE(err.find("unknown axis bits"), std::string::npos)
+        << err;
+
+    // The known-bits portion of the same mask parses fine, so the
+    // rejection really is about the unknown bits.
+    CorpusEntry good;
+    ASSERT_TRUE(deserializeCorpusEntry(
+        serializeCorpusEntry(forge::makeCorpusEntry(
+            forge::generate(6), /*with_exit=*/false)),
+        good, &err, &kind))
+        << err;
+    EXPECT_EQ(kind, forge::CorpusError::None);
+}
+
 TEST(ForgeCorpus, RejectsCorruptionAndTruncation)
 {
     const std::string good = serializeCorpusEntry(
@@ -455,6 +498,108 @@ TEST(ForgeCampaign, WorkerCountDoesNotChangeResults)
         EXPECT_EQ(a.results[i].forcedDiverged,
                   b.results[i].forcedDiverged);
     }
+}
+
+// ---- coverage-guided campaign ----------------------------------------
+
+TEST(ForgeGuided, GuidedCampaignConvergesOnMoreSignatures)
+{
+    // The acceptance experiment at tier-1 scale: with a fixed seed,
+    // the signature-novelty feedback loop must discover at least as
+    // many distinct behaviour signatures as uniform generation over
+    // the same case budget (empirically it finds strictly more on
+    // this configuration; >= is the contract).
+    forge::CampaignConfig cc;
+    cc.cases = 300;
+    cc.seed = 0x5eed;
+    cc.jobs = 4;
+    cc.axes = forge::parseAxes("baseline,nested,sync,exception");
+    cc.forcedSweep = false;
+    cc.base = strictConfig();
+    // The strict oracle compares the full memory image per run; a
+    // small image keeps 600 cases inside a tier-1 time budget.
+    cc.base.sys.memBytes = 2u << 20;
+    cc.base.vm.heapBytes = 1u << 20;
+    const forge::CampaignResult unguided = forge::runCampaign(cc);
+    cc.guided = true;
+    const forge::CampaignResult guided = forge::runCampaign(cc);
+
+    EXPECT_TRUE(unguided.clean()) << unguided.summary();
+    EXPECT_TRUE(guided.clean()) << guided.summary();
+    EXPECT_GT(unguided.distinctSignatures, 1u);
+    EXPECT_GE(guided.distinctSignatures, unguided.distinctSignatures)
+        << "guided: " << guided.summary()
+        << "unguided: " << unguided.summary();
+
+    // The guided run reports its final bank; it parses back
+    // byte-identically (the fleet journals exactly this string).
+    EXPECT_TRUE(unguided.weightBank.empty());
+    ASSERT_FALSE(guided.weightBank.empty());
+    forge::WeightBank bank;
+    ASSERT_TRUE(
+        forge::WeightBank::deserialize(guided.weightBank, bank));
+    EXPECT_EQ(bank.serialize(), guided.weightBank);
+    EXPECT_FALSE(bank == forge::WeightBank())
+        << "300 cases must have moved at least one weight";
+    // Guided scenarios differ from generate(seed): replay uses specs.
+    ASSERT_EQ(guided.specs.size(), guided.results.size());
+}
+
+// ---- corpus distillation ---------------------------------------------
+
+TEST(ForgeDistill, MinimalCorpusCoversEveryObservedSignature)
+{
+    forge::CampaignConfig cc;
+    cc.cases = 24;
+    cc.seed = 0x5eed;
+    cc.jobs = 4;
+    cc.axes = forge::parseAxes("baseline,nested,sync");
+    cc.forcedSweep = false;
+    cc.base = strictConfig();
+    cc.base.sys.memBytes = 2u << 20;
+    cc.base.vm.heapBytes = 1u << 20;
+    const forge::CampaignResult res = forge::runCampaign(cc);
+    ASSERT_TRUE(res.clean()) << res.summary();
+
+    const std::string dir = ::testing::TempDir() + "/forge-distill";
+    std::filesystem::remove_all(dir);
+    forge::DistillConfig dc;
+    dc.outDir = dir;
+    dc.shrinkProbes = 16;
+    const forge::DistillResult dr =
+        forge::distillCampaign(cc, res, dc);
+
+    std::unordered_set<std::uint64_t> observed;
+    for (const forge::CaseResult &cr : res.results)
+        observed.insert(cr.sigHash);
+    EXPECT_EQ(dr.observedSignatures, observed.size());
+    ASSERT_EQ(dr.corpus.size(), dr.entries);
+    EXPECT_EQ(dr.entries, dr.observedSignatures)
+        << "one representative per signature";
+    EXPECT_LE(dr.entries, res.cases);
+
+    // 100% coverage: replaying every distilled entry reproduces
+    // exactly the observed signature set (ddmin only ever accepted
+    // shrinks that preserved the representative's signature).
+    std::unordered_set<std::uint64_t> covered;
+    for (const ScenarioSpec &spec : dr.corpus)
+        covered.insert(
+            forge::runCase(spec, cc.base, cc.forcedSweep).sigHash);
+    EXPECT_EQ(covered, observed);
+
+    // Entries persist in the standard checksummed corpus format.
+    ASSERT_EQ(dr.paths.size(), dr.entries);
+    EXPECT_EQ(forge::listCorpus(dir).size(), dr.entries);
+    CorpusEntry e;
+    std::string err;
+    ASSERT_TRUE(forge::readCorpusEntry(dr.paths[0], e, &err)) << err;
+
+    // Distillation is deterministic given the campaign result.
+    const forge::DistillResult again =
+        forge::distillCampaign(cc, res, dc);
+    ASSERT_EQ(again.entries, dr.entries);
+    for (std::size_t i = 0; i < dr.corpus.size(); ++i)
+        EXPECT_TRUE(again.corpus[i] == dr.corpus[i]) << i;
 }
 
 // ---- speculative fast-path differential ------------------------------
